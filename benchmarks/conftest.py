@@ -1,0 +1,30 @@
+"""Shared benchmark fixtures.
+
+Benchmarks report **simulated time** (deterministic, hardware-model
+driven); the pytest-benchmark fixture wraps one representative run so the
+harness's own wall-clock cost is tracked too.  Run with:
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "figure(name): paper figure reproduced")
+
+
+@pytest.fixture(scope="session")
+def show():
+    """Print a reporting object with spacing (benchmarks print tables)."""
+
+    def _show(obj):
+        print()
+        if hasattr(obj, "show"):
+            obj.show()
+        else:
+            print(obj)
+
+    return _show

@@ -1,0 +1,98 @@
+"""Ablation: pipeline fragment size and depth (Fig 9 companion).
+
+"if a pipeline is installed between the 2 processes, the cost of the
+operation can be decreased, reaching the invariant (which is the cost of
+the data transfer) plus the cost of the most expensive operation (pack
+or unpack) on a single fragment, which might represent a reduction by
+nearly a factor of 2 if the pipeline size is correctly tuned"
+(Section 4.1).
+
+Sweeps fragment size (too small -> per-fragment overheads dominate; too
+large -> poor overlap) and ring depth (1 = no overlap at all).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import Series, fmt_time, make_env, matrix_buffers, pingpong
+from repro.mpi.config import MpiConfig
+from repro.workloads.matrices import MatrixWorkload
+
+N = 2048
+FRAGS = [64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20, 64 << 20]
+DEPTHS = [1, 2, 4, 8]
+
+
+def pp(frag_bytes: int, depth: int, env_kind: str = "sm-2gpu") -> float:
+    cfg = MpiConfig(frag_bytes=frag_bytes, pipeline_depth=depth)
+    env = make_env(env_kind, config=cfg)
+    wl = MatrixWorkload.submatrix(N, N + 512)
+    b0, b1 = matrix_buffers(env, wl)
+    return pingpong(env, b0, wl.datatype, 1, b1, wl.datatype, 1, iters=2)
+
+
+@pytest.mark.figure("ablation-pipeline")
+def test_ablation_pipeline(benchmark, show):
+    by_frag = Series(
+        f"Ablation: V ping-pong (N={N}) vs fragment size (depth=4)",
+        "frag",
+        ["time"],
+    )
+    times_frag = {}
+    for f in FRAGS:
+        t = pp(f, 4)
+        times_frag[f] = t
+        by_frag.add(f"{f >> 10}KiB", time=t)
+    show(by_frag.to_table(fmt_time))
+
+    by_depth = Series(
+        f"Ablation: V ping-pong (N={N}) vs ring depth (frag=1MiB)",
+        "depth",
+        ["time"],
+    )
+    times_depth = {}
+    for d in DEPTHS:
+        t = pp(1 << 20, d)
+        times_depth[d] = t
+        by_depth.add(d, time=t)
+    show(by_depth.to_table(fmt_time))
+
+    # The paper's invariant — pipelining cuts the time from
+    # pack + wire + unpack toward wire + max(pack, unpack)-per-fragment,
+    # "a reduction by nearly a factor of 2 if the pipeline size is
+    # correctly tuned" — is largest when the kernels run at about the
+    # wire rate.  A heavily shared GPU (Section 5.4) is exactly that
+    # regime, so the factor-2 claim is demonstrated under contention.
+    def contended(frag_bytes: int) -> float:
+        cfg = MpiConfig(frag_bytes=frag_bytes, pipeline_depth=4)
+        env = make_env("sm-2gpu", config=cfg)
+        for gpu in (env.gpu0, env.gpu1):
+            gpu.contention = 0.93
+        wl = MatrixWorkload.submatrix(N, N + 512)
+        b0, b1 = matrix_buffers(env, wl)
+        return pingpong(env, b0, wl.datatype, 1, b1, wl.datatype, 1, iters=2)
+
+    slow_gpu = Series(
+        f"Ablation: V ping-pong (N={N}), 93%-contended GPUs",
+        "frag",
+        ["time"],
+    )
+    t_whole = contended(64 << 20)
+    t_piped = contended(2 << 20)
+    slow_gpu.add("64MiB (no pipeline)", time=t_whole)
+    slow_gpu.add("2MiB", time=t_piped)
+    show(slow_gpu.to_table(fmt_time))
+
+    # a sweet spot exists: the best mid fragment beats both extremes
+    best_mid = min(times_frag[256 << 10], times_frag[1 << 20], times_frag[4 << 20])
+    assert best_mid < times_frag[64 << 10], "tiny fragments pay overheads"
+    # a single whole-message fragment loses the overlap
+    assert best_mid < times_frag[64 << 20], "no-pipeline should be slower"
+    assert t_piped < t_whole * 0.65, (
+        f"overlap should approach 2x when pack ~ wire (got {t_whole / t_piped:.2f}x)"
+    )
+    # depth 1 serializes pack and unpack; deeper rings overlap them
+    assert times_depth[4] < times_depth[1] * 0.9
+
+    benchmark(pp, 1 << 20, 4)

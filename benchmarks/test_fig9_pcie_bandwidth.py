@@ -1,0 +1,53 @@
+"""Figure 9: PCI-E bandwidth achieved by the ping-pong benchmark.
+
+Two ranks on different GPUs of one node: every packed byte crosses the
+PCIe switch, so PCIe is the bottleneck and the figure reports how close
+each datatype gets to the contiguous transfer's bandwidth.  Paper: "we
+achieved 90% and 78% of the PCI-E bandwidth for vector and indexed
+types, respectively, by selecting a proper pipeline size".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import Series, make_env, matrix_buffers, pingpong
+from repro.workloads.matrices import MatrixWorkload
+
+SIZES = [512, 1024, 2048, 3072]
+
+
+def pcie_bandwidths(n: int) -> dict[str, float]:
+    out: dict[str, float] = {}
+    for name, wl in (
+        ("V", MatrixWorkload.submatrix(n, n + 512)),
+        ("T", MatrixWorkload.triangular(n)),
+        ("C", MatrixWorkload.contiguous_matrix(n)),
+    ):
+        env = make_env("sm-2gpu")
+        b0, b1 = matrix_buffers(env, wl)
+        t = pingpong(env, b0, wl.datatype, 1, b1, wl.datatype, 1, iters=2)
+        # ping-pong moves the payload twice per iteration
+        out[name] = 2 * wl.payload_bytes / t
+    return out
+
+
+@pytest.mark.figure("fig9")
+def test_fig9_pcie_bandwidth(benchmark, show):
+    series = Series(
+        "Fig 9: PCI-E bandwidth of ping-pong (GB/s)", "N", ["V", "T", "C"]
+    )
+    for n in SIZES:
+        series.add(n, **pcie_bandwidths(n))
+    show(series.to_table(fmt=lambda v: f"{v / 1e9:.2f}"))
+
+    i = len(SIZES) - 1
+    v, t, c = (series.column(k)[i] for k in ("V", "T", "C"))
+    # paper: ~90% (V) and ~78% (T) of the PCIe bandwidth; our pipeline
+    # hides the indexed type's preparation a little better, so T lands
+    # closer to V, but the ordering and the below-C gap both hold
+    assert 0.78 <= v / c <= 0.95, f"V at {v / c:.2f} of contiguous PCIe bw"
+    assert 0.60 <= t / c <= 0.92, f"T at {t / c:.2f} of contiguous PCIe bw"
+    assert t < v, "indexed should trail vector"
+
+    benchmark(pcie_bandwidths, 1024)

@@ -1,0 +1,72 @@
+"""Section 5.3: minimal GPU resources for optimal communication.
+
+The evaluation's third benchmark: "we figure out the minimal GPU
+resources required for GPU packing/unpacking kernels to achieve optimal
+overall performance when communication is engaged."
+
+We grant the pack/unpack kernels an increasing number of CUDA blocks and
+measure the two-GPU ping-pong.  Because the wire (PCIe) is the
+bottleneck, performance flattens as soon as the kernel bandwidth
+(~ grid_blocks * warps_per_block * per-warp rate) crosses PCIe bandwidth
+— i.e. a small fraction of the GPU suffices, leaving the rest for the
+application.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import Series, fmt_time, make_env, matrix_buffers, pingpong
+from repro.gpu_engine import EngineOptions
+from repro.mpi.config import MpiConfig
+from repro.workloads.matrices import MatrixWorkload
+
+GRIDS = [1, 2, 4, 8, 16, 32, 64, 120]
+N = 2048
+
+
+def pingpong_with_grid(grid_blocks: int) -> float:
+    cfg = MpiConfig(engine=EngineOptions(grid_blocks=grid_blocks))
+    env = make_env("sm-2gpu", config=cfg)
+    wl = MatrixWorkload.submatrix(N, N + 512)
+    b0, b1 = matrix_buffers(env, wl)
+    return pingpong(env, b0, wl.datatype, 1, b1, wl.datatype, 1, iters=2)
+
+
+def saturation_grid() -> int:
+    """Blocks needed for kernel bw to cross PCIe bw (model prediction)."""
+    env = make_env("sm-2gpu")
+    gpu = env.gpu0
+    pcie = gpu.d2h_link.bandwidth
+    for g in GRIDS:
+        if gpu.kernel_bandwidth(g) >= pcie:
+            return g
+    return GRIDS[-1]
+
+
+@pytest.mark.figure("sec5.3")
+def test_sec53_min_resources(benchmark, show):
+    series = Series(
+        f"S5.3: V ping-pong (N={N}) vs CUDA blocks granted to the engine",
+        "blocks",
+        ["time", "kernel_bw_GBs"],
+    )
+    times = {}
+    env = make_env("sm-2gpu")
+    for g in GRIDS:
+        t = pingpong_with_grid(g)
+        times[g] = t
+        series.add(g, time=t, kernel_bw_GBs=env.gpu0.kernel_bandwidth(g))
+    show(series.to_table(lambda v: fmt_time(v) if v < 1 else f"{v / 1e9:.1f}"))
+
+    sat = saturation_grid()
+    print(f"\nmodel-predicted saturation grid: {sat} blocks")
+    # starved kernels dominate; granting more blocks helps a lot...
+    assert times[1] > times[GRIDS[-1]] * 1.5
+    # ...but beyond saturation extra blocks buy (almost) nothing
+    after = [times[g] for g in GRIDS if g >= sat]
+    assert max(after) < min(after) * 1.15, "curve should flatten past saturation"
+    # saturation needs only a small fraction of the GPU's 120-block grid
+    assert sat <= 16
+
+    benchmark(pingpong_with_grid, GRIDS[-1])

@@ -1,0 +1,58 @@
+"""Section 5.4: non-contiguous transfers when the GPU is shared.
+
+The evaluation's fourth benchmark: "we analyze the impact on
+non-contiguous data transfer when access to the GPU resource is limited
+(the GPU is shared with another GPU intensive application)."
+
+A co-running kernel consumes a fraction of the GPU's SMs and DRAM
+bandwidth (`Gpu.contention`).  Because the communication pipeline is
+PCIe-bound, moderate contention barely moves the ping-pong time — the
+engine's kernels have headroom — until the leftover kernel bandwidth
+drops below the wire rate, after which the pack stage becomes the
+bottleneck and latency climbs steeply.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import Series, fmt_time, make_env, matrix_buffers, pingpong
+from repro.workloads.matrices import MatrixWorkload
+
+LEVELS = [0.0, 0.25, 0.5, 0.75, 0.9, 0.97]
+N = 2048
+
+
+def pingpong_under_contention(level: float) -> float:
+    env = make_env("sm-2gpu")
+    for gpu in (env.gpu0, env.gpu1):
+        gpu.contention = level
+    wl = MatrixWorkload.submatrix(N, N + 512)
+    b0, b1 = matrix_buffers(env, wl)
+    return pingpong(env, b0, wl.datatype, 1, b1, wl.datatype, 1, iters=2)
+
+
+@pytest.mark.figure("sec5.4")
+def test_sec54_contention(benchmark, show):
+    series = Series(
+        f"S5.4: V ping-pong (N={N}) vs co-running-app GPU share",
+        "contention",
+        ["time"],
+    )
+    times = {}
+    for level in LEVELS:
+        t = pingpong_under_contention(level)
+        times[level] = t
+        series.add(f"{int(level * 100)}%", time=t)
+    show(series.to_table(fmt_time))
+
+    # PCIe-bound region: 50% contention costs little
+    assert times[0.5] < times[0.0] * 1.2, "should tolerate a half-busy GPU"
+    # kernel-starved region: extreme contention blows the time up
+    assert times[0.97] > times[0.0] * 1.5, "a ~starved GPU must hurt"
+    # monotone non-decreasing (within tolerance)
+    ts = [times[l] for l in LEVELS]
+    for a, b in zip(ts, ts[1:]):
+        assert b >= a * 0.99
+
+    benchmark(pingpong_under_contention, 0.5)

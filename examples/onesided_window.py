@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""One-sided GPU data movement with MPI-style windows (RMA extension).
+
+The paper notes CUDA IPC "provides a one sided copy mechanism similar to
+RDMA" and that committed datatypes work with one-sided functions.  Here
+rank 0 *puts* the lower-triangular part of its GPU matrix straight into
+rank 1's window — rank 1 issues no receive, it only fences — and then
+*gets* rank 1's boundary column back.  An energy report compares the
+epoch's dynamic cost against the CPU-packed equivalent.
+
+Run:  python examples/onesided_window.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datatype.convertor import pack_bytes
+from repro.datatype.ddt import vector
+from repro.datatype.primitives import DOUBLE
+from repro.hw import Cluster
+from repro.hw.energy import energy_report
+from repro.mpi import MpiWorld, RmaWindow
+from repro.workloads import lower_triangular_type
+
+N = 512
+
+
+def main() -> None:
+    cluster = Cluster(1, 2, trace=True)
+    world = MpiWorld(cluster, placements=[(0, 0), (0, 1)])
+
+    T = lower_triangular_type(N)
+    col = vector(N, 1, N, DOUBLE).commit()  # one matrix row, strided
+
+    matrices = [world.procs[r].ctx.malloc(N * N * 8) for r in range(2)]
+    rng = np.random.default_rng(4)
+    for m in matrices:
+        m.write(rng.random(N * N))
+    win = RmaWindow(world, matrices)
+    fetched = world.procs[0].ctx.malloc(N * N * 8)
+    fetched.fill(0)
+
+    def rank0(mpi):
+        yield from win.fence(mpi)
+        win.put(mpi, matrices[0], T, 1, target=1)  # triangle -> rank 1
+        win.get(mpi, fetched, col, 1, target=1, target_dt=col)
+        yield from win.fence(mpi)
+
+    def rank1(mpi):
+        # purely passive: expose the window, fence the epoch
+        yield from win.fence(mpi)
+        yield from win.fence(mpi)
+
+    before = pack_bytes(col, 1, matrices[1].bytes).copy()
+    elapsed = world.run([rank0, rank1])
+
+    # verify the put landed and the get fetched pre-put remote data or
+    # post-put (both ops target rank 1's window; ordering within an epoch
+    # is unspecified in MPI, so check against the window's final content)
+    assert np.array_equal(
+        pack_bytes(T, 1, matrices[1].bytes), pack_bytes(T, 1, matrices[0].bytes)
+    ), "put did not deliver the triangle"
+    got = pack_bytes(col, 1, fetched.bytes)
+    after = pack_bytes(col, 1, matrices[1].bytes)
+    assert np.array_equal(got, after) or np.array_equal(got, before), (
+        "get fetched neither epoch boundary state"
+    )
+
+    rep = energy_report(cluster.tracer)
+    print(f"epoch: put {T.size / 2**20:.1f} MiB triangle + get one strided "
+          f"row, {elapsed * 1e6:.0f} us simulated")
+    print(rep.render())
+    print("OK: one-sided epoch verified")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""LAMMPS-style particle exchange with an indexed datatype (Section 3).
+
+"Each process keeps an array of indices of local particles that need to
+be communicated; such an access pattern can be captured by an indexed
+type."  Two GPU ranks each own a particle array; every step they select a
+random boundary subset and exchange those records directly from GPU
+memory — no manual packing in user code.
+
+The same exchange is also run over InfiniBand (two nodes) to show the
+copy-in/copy-out protocol handling the identical application code.
+
+Run:  python examples/particles_exchange.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datatype.convertor import pack_bytes
+from repro.datatype.ddt import contiguous
+from repro.datatype.primitives import DOUBLE
+from repro.hw import Cluster
+from repro.mpi import MpiWorld
+from repro.workloads import particle_index_type, random_particle_indices
+from repro.workloads.particles import PARTICLE_FIELDS
+
+N_LOCAL = 20_000
+N_SEND = 1_500
+
+
+def run_exchange(kind: str) -> float:
+    if kind == "intra-node (CUDA IPC)":
+        cluster = Cluster(1, 2)
+        placements = [(0, 0), (0, 1)]
+    else:
+        cluster = Cluster(2, 1)
+        placements = [(0, 0), (1, 0)]
+    world = MpiWorld(cluster, placements)
+
+    rng = np.random.default_rng(5)
+    arrays = []
+    inboxes = []
+    send_types = []
+    for r in range(2):
+        buf = world.procs[r].ctx.malloc(N_LOCAL * PARTICLE_FIELDS * 8)
+        buf.write(rng.random(N_LOCAL * PARTICLE_FIELDS))
+        arrays.append(buf)
+        inboxes.append(
+            world.procs[r].ctx.malloc(N_SEND * PARTICLE_FIELDS * 8)
+        )
+        idx = random_particle_indices(N_LOCAL, N_SEND, seed=100 + r)
+        send_types.append(particle_index_type(idx))
+    recv_dt = contiguous(N_SEND * PARTICLE_FIELDS, DOUBLE).commit()
+
+    def program(rank):
+        other = 1 - rank
+
+        def run(mpi):
+            reqs = [
+                mpi.isend(arrays[rank], send_types[rank], 1, dest=other, tag=3),
+                mpi.irecv(inboxes[rank], recv_dt, 1, source=other, tag=3),
+            ]
+            yield mpi.wait_all(*reqs)
+
+        return run
+
+    world.run({0: program(0), 1: program(1)})  # warm-up
+    elapsed = world.run({0: program(0), 1: program(1)})
+
+    for r in range(2):
+        want = pack_bytes(send_types[1 - r], 1, arrays[1 - r].bytes)
+        assert np.array_equal(inboxes[r].bytes, want), "particle data corrupted"
+    return elapsed
+
+
+def main() -> None:
+    nbytes = N_SEND * PARTICLE_FIELDS * 8
+    print(
+        f"exchanging {N_SEND} of {N_LOCAL} particle records "
+        f"({nbytes / 2**10:.0f} KiB each way, indexed datatype)"
+    )
+    for kind in ("intra-node (CUDA IPC)", "inter-node (InfiniBand)"):
+        t = run_exchange(kind)
+        print(f"{kind:26s}: {t * 1e6:8.1f} us per exchange step")
+    print("OK: particle records verified on both transports")
+
+
+if __name__ == "__main__":
+    main()

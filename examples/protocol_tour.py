@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""A tour of the protocol/engine knobs the paper evaluates.
+
+Runs the same triangular-matrix ping-pong under every interesting
+configuration and prints the comparison: CUDA IPC RDMA vs copy-in/out,
+zero-copy vs explicit staging, receiver local staging, CUDA_DEV cache,
+pipeline fragment size — plus the Fig 1 strawmen for scale.
+
+Run:  python examples/protocol_tour.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import Table, fmt_time, make_env, matrix_buffers, pingpong
+from repro.gpu_engine import EngineOptions
+from repro.mpi import MpiConfig
+from repro.workloads.matrices import MatrixWorkload
+
+N = 1536
+
+
+def measure(config: MpiConfig) -> float:
+    env = make_env("sm-2gpu", config=config)
+    wl = MatrixWorkload.triangular(N)
+    b0, b1 = matrix_buffers(env, wl)
+    return pingpong(env, b0, wl.datatype, 1, b1, wl.datatype, 1, iters=2)
+
+
+def measure_ib(config: MpiConfig) -> float:
+    env = make_env("ib", config=config)
+    wl = MatrixWorkload.triangular(N)
+    b0, b1 = matrix_buffers(env, wl)
+    return pingpong(env, b0, wl.datatype, 1, b1, wl.datatype, 1, iters=2)
+
+
+def main() -> None:
+    base = MpiConfig()
+    rows = [
+        ("RDMA pipeline (defaults)", measure(base)),
+        ("  no CUDA IPC (copy-in/out)", measure(base.but(use_cuda_ipc=False))),
+        ("  no receiver local staging", measure(base.but(receiver_local_staging=False))),
+        ("  no CUDA_DEV cache", measure(
+            base.but(engine=EngineOptions(use_cache=False)))),
+        ("  no prep pipeline, no cache", measure(
+            base.but(engine=EngineOptions(use_cache=False, pipeline_prep=False)))),
+        ("  tiny fragments (128 KiB)", measure(base.but(frag_bytes=128 << 10))),
+        ("  huge fragment (no overlap)", measure(base.but(frag_bytes=1 << 30))),
+    ]
+    ib_rows = [
+        ("IB, zero-copy (default)", measure_ib(base)),
+        ("  explicit D2H/H2D staging", measure_ib(base.but(zero_copy=False))),
+    ]
+
+    t = Table(
+        f"Triangular matrix (N={N}) ping-pong: configuration tour",
+        ["configuration", "round-trip", "vs default"],
+    )
+    ref = rows[0][1]
+    for name, v in rows:
+        t.add(name, fmt_time(v), f"{v / ref:.2f}x")
+    ref_ib = ib_rows[0][1]
+    for name, v in ib_rows:
+        t.add(name, fmt_time(v), f"{v / ref_ib:.2f}x (IB)")
+    t.show()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Quickstart: send a non-contiguous GPU sub-matrix between two ranks.
+
+Builds a one-node, two-GPU simulated cluster, describes a 1024x1024
+column-major sub-matrix with an MPI vector datatype, and moves it between
+two GPU-resident buffers with the paper's pipelined CUDA-IPC RDMA
+protocol.  The transfer is verified bit-for-bit and the simulated cost is
+broken down against the raw wire time.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datatype.convertor import pack_bytes
+from repro.hw import Cluster
+from repro.mpi import MpiWorld
+from repro.workloads import submatrix_type
+
+
+def main() -> None:
+    n, ld = 1024, 2048
+
+    # --- hardware + MPI world ------------------------------------------
+    cluster = Cluster(n_nodes=1, gpus_per_node=2)
+    world = MpiWorld(cluster, placements=[(0, 0), (0, 1)])
+
+    # --- datatype: every column is contiguous, columns are ld apart -----
+    V = submatrix_type(n, ld)
+    print(f"datatype: vector, {n} columns x {n} doubles, payload "
+          f"{V.size / 2**20:.1f} MiB inside a {ld}x{ld} matrix")
+
+    # --- GPU buffers -----------------------------------------------------
+    src = world.procs[0].ctx.malloc(ld * ld * 8, label="A")
+    dst = world.procs[1].ctx.malloc(ld * ld * 8, label="B")
+    src.write(np.random.default_rng(0).random(ld * ld))
+
+    # --- rank programs --------------------------------------------------
+    def rank0(mpi):
+        yield mpi.send(src, V, 1, dest=1, tag=0)
+
+    def rank1(mpi):
+        yield mpi.recv(dst, V, 1, source=0, tag=0)
+
+    first = world.run([rank0, rank1])
+    steady = world.run([rank0, rank1])  # registrations/caches now warm
+
+    # --- verify ------------------------------------------------------------
+    assert np.array_equal(
+        pack_bytes(V, 1, dst.bytes), pack_bytes(V, 1, src.bytes)
+    ), "transfer corrupted the sub-matrix"
+
+    wire = V.size / cluster.params.pcie_p2p.bandwidth
+    print(f"first transfer : {first * 1e6:9.1f} us  (pays IPC registration)")
+    print(f"steady transfer: {steady * 1e6:9.1f} us")
+    print(f"raw wire time  : {wire * 1e6:9.1f} us  "
+          f"({V.size / steady / 1e9:.2f} GB/s achieved, "
+          f"{V.size / steady / cluster.params.pcie_p2p.bandwidth:.0%} of PCIe)")
+    print("OK: sub-matrix delivered bit-for-bit")
+
+
+if __name__ == "__main__":
+    main()

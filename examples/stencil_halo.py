@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""SHOC-style 2-D stencil halo exchange on four GPUs (Section 3's example).
+
+A 2x2 process grid, each rank owning a GPU-resident tile.  As in the
+paper's motivation: "two of the four boundaries are contiguous, and the
+other two are non-contiguous, which can be defined by a vector type".
+North/south halos are contiguous row bands; east/west halos are vector
+column bands.  Every iteration each rank exchanges halos with its grid
+neighbours and we verify the received ghost cells bit-for-bit.
+
+Run:  python examples/stencil_halo.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datatype.convertor import pack_bytes
+from repro.hw import Cluster
+from repro.mpi import MpiWorld
+from repro.workloads import stencil_halo_types
+
+ROWS, COLS, HALO = 512, 512, 2
+ITERS = 3
+
+
+def main() -> None:
+    cluster = Cluster(n_nodes=1, gpus_per_node=4)
+    world = MpiWorld(cluster, placements=[(0, g) for g in range(4)])
+    halo = stencil_halo_types(ROWS, COLS, HALO)
+    offs = halo.offsets()
+    item = 8
+
+    # 2x2 grid: rank r at (r // 2, r % 2); neighbours with wraparound
+    def neighbours(r):
+        row, col = divmod(r, 2)
+        return {
+            "north": ((row - 1) % 2) * 2 + col,
+            "south": ((row + 1) % 2) * 2 + col,
+            "west": row * 2 + (col - 1) % 2,
+            "east": row * 2 + (col + 1) % 2,
+        }
+
+    tiles = []
+    ghosts = []  # received halo payloads, per rank per side
+    rng = np.random.default_rng(11)
+    for r in range(4):
+        tile = world.procs[r].ctx.malloc(ROWS * COLS * item, label=f"tile{r}")
+        tile.write(rng.random(ROWS * COLS))
+        tiles.append(tile)
+        ghosts.append(
+            {s: world.procs[r].ctx.malloc(halo.north.size if s in ("north", "south")
+                                          else halo.west.size)
+             for s in ("north", "south", "west", "east")}
+        )
+
+    sides = {
+        "north": halo.north, "south": halo.south,
+        "west": halo.west, "east": halo.east,
+    }
+    # a ghost strip is contiguous once received
+    from repro.datatype.ddt import contiguous
+    from repro.datatype.primitives import DOUBLE
+    ghost_dt = {
+        s: contiguous(sides[s].size // 8, DOUBLE).commit() for s in sides
+    }
+
+    def program(rank):
+        def run(mpi):
+            nbr = neighbours(rank)
+            for it in range(ITERS):
+                reqs = []
+                for s, dt in sides.items():
+                    tag = it * 8 + list(sides).index(s)
+                    reqs.append(
+                        mpi.isend(tiles[rank][offs[s]:], dt, 1, dest=nbr[s], tag=tag)
+                    )
+                # receive the opposite side's boundary from each neighbour
+                opposite = {"north": "south", "south": "north",
+                            "west": "east", "east": "west"}
+                for s in sides:
+                    tag = it * 8 + list(sides).index(opposite[s])
+                    reqs.append(
+                        mpi.irecv(ghosts[rank][s], ghost_dt[s], 1,
+                                  source=nbr[s], tag=tag)
+                    )
+                yield mpi.wait_all(*reqs)
+        return run
+
+    elapsed = world.run({r: program(r) for r in range(4)})
+
+    # verify: my north ghost equals my north-neighbour's south boundary
+    for r in range(4):
+        nbr = neighbours(r)
+        for s, opp in (("north", "south"), ("south", "north"),
+                       ("west", "east"), ("east", "west")):
+            want = pack_bytes(sides[opp], 1, tiles[nbr[s]].bytes[offs[opp]:])
+            got = ghosts[r][s].bytes[: len(want)]
+            assert np.array_equal(got, want), f"rank {r} side {s} ghost wrong"
+
+    per_iter = elapsed / ITERS
+    halo_bytes = 2 * (halo.north.size + halo.west.size)
+    print(f"grid 2x2, tile {ROWS}x{COLS} doubles, halo width {HALO}")
+    print(f"halo exchange: {per_iter * 1e6:.1f} us/iteration "
+          f"({halo_bytes / 2**10:.0f} KiB sent per rank per iteration)")
+    print("OK: all ghost cells verified for", ITERS, "iterations")
+
+
+if __name__ == "__main__":
+    main()

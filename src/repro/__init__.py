@@ -1,0 +1,68 @@
+"""repro — GPU-Aware Non-contiguous Data Movement In Open MPI (HPDC'16).
+
+A complete, simulated reproduction of Wu et al.'s GPU datatype engine and
+its Open MPI integration: MPI derived datatypes, the two-stage
+DEV/CUDA_DEV GPU pack-unpack engine, the pipelined CUDA-IPC RDMA and
+copy-in/copy-out protocols, the MVAPICH-style comparator, and a
+discrete-event hardware model (GPU, PCIe, InfiniBand) on which every
+experiment of the paper's evaluation section can be regenerated.
+
+Quick start::
+
+    from repro.hw import Cluster
+    from repro.mpi import MpiWorld
+    from repro.workloads import submatrix_type
+
+    cluster = Cluster(n_nodes=1, gpus_per_node=2)
+    world = MpiWorld(cluster, placements=[(0, 0), (0, 1)])
+    V = submatrix_type(1024, 2048)
+    ...
+
+See ``examples/quickstart.py`` for the runnable version.
+"""
+
+from repro.datatype import (
+    BYTE,
+    CHAR,
+    DOUBLE,
+    FLOAT,
+    INT,
+    contiguous,
+    hindexed,
+    hvector,
+    indexed,
+    indexed_block,
+    resized,
+    struct,
+    subarray,
+    vector,
+)
+from repro.gpu_engine import DevCache, EngineOptions, GpuDatatypeEngine
+from repro.hw import Cluster
+from repro.mpi import MpiConfig, MpiWorld
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BYTE",
+    "CHAR",
+    "INT",
+    "FLOAT",
+    "DOUBLE",
+    "contiguous",
+    "vector",
+    "hvector",
+    "indexed",
+    "hindexed",
+    "indexed_block",
+    "struct",
+    "subarray",
+    "resized",
+    "DevCache",
+    "EngineOptions",
+    "GpuDatatypeEngine",
+    "Cluster",
+    "MpiConfig",
+    "MpiWorld",
+    "__version__",
+]

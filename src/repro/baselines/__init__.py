@@ -1,0 +1,27 @@
+"""Comparator implementations.
+
+* :mod:`repro.baselines.staging` — the three rejected designs of Fig 1:
+  (a) copy the whole region including gaps and pack on the CPU,
+  (b) one ``cudaMemcpy`` D2H per contiguous block,
+  (c) one device-to-device copy per contiguous block;
+* :mod:`repro.baselines.mvapich` — an MVAPICH2-GDR-style engine built on
+  Wang et al.'s vectorization algorithm: any datatype becomes a list of
+  vectors, each packed/unpacked with its own synchronous ``cudaMemcpy2D``
+  and no pipelining between stages (Section 2.2) — the paper's
+  competitive baseline in Figs 10-12.
+"""
+
+from repro.baselines.staging import (
+    per_block_d2d_transfer,
+    per_block_d2h_pack,
+    whole_region_pack,
+)
+from repro.baselines.mvapich import MvapichLikeTransfer, vectorize_spans
+
+__all__ = [
+    "whole_region_pack",
+    "per_block_d2h_pack",
+    "per_block_d2d_transfer",
+    "MvapichLikeTransfer",
+    "vectorize_spans",
+]

@@ -1,0 +1,145 @@
+"""The three rejected designs of Figure 1, as runnable coroutines.
+
+Each returns a generator suitable for ``sim.spawn``; all move real bytes
+so the ablation benchmarks can verify they produce the same packed stream
+as the GPU engine while paying very different simulated costs.
+
+(a) ``whole_region_pack`` — "copy the entire non-contiguous data
+    including the gaps from device memory into host memory" and let the
+    CPU datatype engine pack.  Fast wire-wise for dense layouts, but
+    wastes host memory and PCIe bandwidth proportional to the *extent*,
+    and is bounded by CPU pack throughput.
+(b) ``per_block_d2h_pack`` — "issue one device-to-host memory copy for
+    each piece of contiguous data".  The per-call driver overhead times
+    the block count is the killer.
+(c) ``per_block_d2d_transfer`` — same, but device-to-device into an
+    identically laid-out peer buffer (requires P2P and identical
+    layouts).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.datatype.convertor import Convertor
+from repro.datatype.ddt import Datatype
+from repro.hw.gpu import Gpu
+from repro.hw.memory import Buffer
+from repro.mpi.proc import MpiProcess
+
+__all__ = ["whole_region_pack", "per_block_d2h_pack", "per_block_d2d_transfer"]
+
+#: issuing more small copies than this per message is modeled batched in
+#: groups to keep the simulator's Python overhead bounded; the *time*
+#: charged is identical (k copies = k overheads + bytes/bw on one FIFO)
+_BATCH = 4096
+
+
+def whole_region_pack(
+    proc: MpiProcess, dt: Datatype, count: int, src: Buffer, host_out: Buffer
+):
+    """Fig 1(a): D2H the whole extent (gaps included), CPU-pack on host.
+
+    ``host_out`` receives the packed stream; a bounce buffer of the full
+    extent is allocated (and its size reported via the return value).
+    """
+    gpu = proc.gpu
+    spans = dt.spans_for_count(count)
+    lo, hi = spans.true_lb, spans.true_ub
+    region = hi - lo
+    bounce = proc.node.host_memory.alloc(max(region, 1), label="region-bounce")
+    try:
+        yield gpu.memcpy_d2h(bounce, src[lo:hi])
+        conv = Convertor(dt, count, bounce.bytes, "pack", base_offset=-lo)
+        total = dt.size * count
+
+        def move() -> None:
+            conv.pack(host_out.bytes[:total])
+
+        yield proc.node.cpu_pack_op(total, fn=move, label="region-cpu-pack")
+    finally:
+        bounce.free()
+    return region  # bounce-buffer bytes consumed — the approach's cost
+
+
+def per_block_d2h_pack(
+    proc: MpiProcess, dt: Datatype, count: int, src: Buffer, host_out: Buffer
+):
+    """Fig 1(b): one cudaMemcpy D2H per contiguous block."""
+    gpu = proc.gpu
+    spans = dt.spans_for_count(count)
+    link = gpu.d2h_link
+    n = spans.count
+    disps, lens = spans.disps, spans.lens
+    out_off = 0
+    last = None
+    done = 0
+    while done < n:
+        batch = slice(done, min(done + _BATCH, n))
+        b_disps = disps[batch]
+        b_lens = lens[batch]
+        nbytes = int(b_lens.sum())
+        k = len(b_lens)
+        # k driver calls: k per-op overheads + the payload, FIFO on PCIe
+        extra = link.overhead * (k - 1)
+        off0 = out_off
+
+        def move(b_disps=b_disps, b_lens=b_lens, off0=off0) -> None:
+            pos = off0
+            sb = src.bytes
+            ob = host_out.bytes
+            for d, l in zip(b_disps.tolist(), b_lens.tolist()):
+                ob[pos : pos + l] = sb[d : d + l]
+                pos += l
+
+        fut = link.transfer(nbytes, label="per-block-d2h", extra_overhead=extra)
+        fut.add_callback(lambda _f, mv=move: mv())
+        last = fut
+        out_off += nbytes
+        done += k
+    if last is not None:
+        yield last
+    return spans.count
+
+
+def per_block_d2d_transfer(
+    proc: MpiProcess,
+    dt: Datatype,
+    count: int,
+    src: Buffer,
+    dst: Buffer,
+    peer_gpu: Optional[Gpu] = None,
+):
+    """Fig 1(c): one D2D copy per block into an identical remote layout."""
+    gpu = proc.gpu
+    spans = dt.spans_for_count(count)
+    if peer_gpu is None or peer_gpu is gpu:
+        link = gpu.copy_engine
+        call_oh = gpu.params.memcpy_call_overhead
+    else:
+        link = gpu.p2p_links[peer_gpu.name]
+        call_oh = 0.0  # the P2P link's own per-op overhead applies
+    disps, lens = spans.disps, spans.lens
+    n = spans.count
+    last = None
+    done = 0
+    while done < n:
+        batch = slice(done, min(done + _BATCH, n))
+        b_disps = disps[batch]
+        b_lens = lens[batch]
+        k = len(b_lens)
+        nbytes = int(b_lens.sum())
+        extra = (link.overhead + call_oh) * (k - 1) + call_oh
+
+        def move(b_disps=b_disps, b_lens=b_lens) -> None:
+            sb, db = src.bytes, dst.bytes
+            for d, l in zip(b_disps.tolist(), b_lens.tolist()):
+                db[d : d + l] = sb[d : d + l]
+
+        fut = link.transfer(nbytes, label="per-block-d2d", extra_overhead=extra)
+        fut.add_callback(lambda _f, mv=move: mv())
+        last = fut
+        done += k
+    if last is not None:
+        yield last
+    return spans.count

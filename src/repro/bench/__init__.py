@@ -1,0 +1,32 @@
+"""Benchmark harness: environments, ping-pong drivers, reporting.
+
+Every figure/table in the paper's evaluation has a pytest-benchmark
+target under ``benchmarks/`` built from these pieces.  The measured
+quantity is the **simulated clock** (deterministic); pytest-benchmark
+additionally tracks the simulator's own wall-clock cost.
+"""
+
+from repro.bench.harness import (
+    BenchEnv,
+    make_env,
+    matrix_buffers,
+    one_way,
+    pack_time,
+    pingpong,
+    mvapich_pingpong,
+)
+from repro.bench.reporting import Series, Table, fmt_bytes, fmt_time
+
+__all__ = [
+    "BenchEnv",
+    "make_env",
+    "matrix_buffers",
+    "one_way",
+    "pack_time",
+    "pingpong",
+    "mvapich_pingpong",
+    "Series",
+    "Table",
+    "fmt_bytes",
+    "fmt_time",
+]

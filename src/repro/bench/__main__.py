@@ -1,0 +1,60 @@
+"""CLI report: regenerate the paper's evaluation tables.
+
+Usage::
+
+    python -m repro.bench                 # every figure
+    python -m repro.bench fig6 fig10      # a subset
+    python -m repro.bench --list
+
+For the full per-figure sweeps with assertions, run
+``pytest benchmarks/ --benchmark-only -s`` instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.figures import FIGURES, run_figure
+from repro.bench.reporting import fmt_time
+
+
+def main(argv=None) -> int:
+    """Entry point: run the requested figures and print tables."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the HPDC'16 GPU-datatype evaluation tables "
+        "on the simulated cluster.",
+    )
+    parser.add_argument(
+        "figures",
+        nargs="*",
+        metavar="FIGURE",
+        help=f"which figures to run (default: all of {', '.join(FIGURES)})",
+    )
+    parser.add_argument("--list", action="store_true", help="list figures")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in FIGURES:
+            print(name)
+        return 0
+
+    names = args.figures or list(FIGURES)
+    unknown = [n for n in names if n not in FIGURES]
+    if unknown:
+        parser.error(f"unknown figure(s): {', '.join(unknown)}")
+
+    for name in names:
+        for series in run_figure(name):
+            fmt = fmt_time
+            if "GB/s" in series.title:
+                fmt = lambda v: f"{v / 1e9:.2f}"  # noqa: E731
+            elif "energy" in series.title:
+                fmt = lambda v: f"{v:.2f}"  # pre-scaled columns # noqa: E731
+            series.show(fmt)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

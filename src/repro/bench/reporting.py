@@ -1,0 +1,118 @@
+"""Plain-text tables and series for the benchmark reports.
+
+The harnesses print the same rows/series the paper's figures plot; the
+EXPERIMENTS.md paper-vs-measured records are generated from these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+__all__ = ["Table", "Series", "fmt_time", "fmt_bytes", "fmt_bw"]
+
+
+def fmt_time(seconds: float) -> str:
+    """Human-readable seconds (us/ms/s)."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds:.3f}s"
+
+
+def fmt_bytes(n: float) -> str:
+    """Human-readable byte count (B/KiB/MiB/GiB)."""
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if n < 1024 or unit == "GiB":
+            return f"{n:.1f}{unit}" if unit != "B" else f"{int(n)}B"
+        n /= 1024
+    return f"{n:.1f}GiB"
+
+
+def fmt_bw(bytes_per_s: float) -> str:
+    """Bandwidth in decimal GB/s."""
+    return f"{bytes_per_s / 1e9:.2f}GB/s"
+
+
+@dataclass
+class Table:
+    """A fixed-column text table."""
+
+    title: str
+    headers: Sequence[str]
+    rows: list[Sequence[Any]] = field(default_factory=list)
+
+    def add(self, *row: Any) -> None:
+        """Append one row (must match the header arity)."""
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        """Return the table as aligned plain text."""
+        cells = [[str(h) for h in self.headers]] + [
+            [c if isinstance(c, str) else f"{c:g}" if isinstance(c, float) else str(c) for c in r]
+            for r in self.rows
+        ]
+        widths = [max(len(row[i]) for row in cells) for i in range(len(self.headers))]
+        lines = [f"== {self.title} =="]
+        for k, row in enumerate(cells):
+            lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+            if k == 0:
+                lines.append("  ".join("-" * w for w in widths))
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        """Print the rendered table with a leading blank line."""
+        print()
+        print(self.render())
+
+
+@dataclass
+class Series:
+    """An x-axis plus named y-columns — one paper figure's data."""
+
+    title: str
+    x_name: str
+    columns: Sequence[str]
+    x: list[Any] = field(default_factory=list)
+    ys: dict[str, list[Optional[float]]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for c in self.columns:
+            self.ys.setdefault(c, [])
+
+    def add(self, x: Any, **values: Optional[float]) -> None:
+        """Append one x point with its named column values."""
+        self.x.append(x)
+        for c in self.columns:
+            self.ys[c].append(values.get(c))
+
+    def column(self, name: str) -> list[Optional[float]]:
+        """The values of one named column, in x order."""
+        return self.ys[name]
+
+    def to_table(self, fmt=fmt_time) -> Table:
+        """Render the series as a :class:`Table` using ``fmt`` per cell."""
+        t = Table(self.title, [self.x_name, *self.columns])
+        for i, x in enumerate(self.x):
+            row = [x]
+            for c in self.columns:
+                v = self.ys[c][i]
+                row.append("-" if v is None else fmt(v))
+            t.add(*row)
+        return t
+
+    def show(self, fmt=fmt_time) -> None:
+        """Print the series as a formatted table."""
+        self.to_table(fmt).show()
+
+    def ratio(self, a: str, b: str) -> list[Optional[float]]:
+        """Per-x ratio column a / column b (None-safe)."""
+        out: list[Optional[float]] = []
+        for va, vb in zip(self.ys[a], self.ys[b]):
+            out.append(None if (va is None or vb in (None, 0)) else va / vb)
+        return out

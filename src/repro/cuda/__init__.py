@@ -1,0 +1,20 @@
+"""A CUDA-runtime-shaped facade over the simulated GPU.
+
+The GPU datatype engine and the baselines are written against this API —
+``malloc``/``memcpy``/``memcpy2d``/streams/events/IPC/zero-copy — so the
+code reads like the CUDA code in the paper while executing on the
+simulated hardware underneath.
+"""
+
+from repro.cuda.runtime import CudaContext, Event, MemcpyKind
+from repro.cuda.ipc import IpcMemHandle
+from repro.cuda.uma import map_host_buffer, is_mapped_host
+
+__all__ = [
+    "CudaContext",
+    "Event",
+    "MemcpyKind",
+    "IpcMemHandle",
+    "map_host_buffer",
+    "is_mapped_host",
+]

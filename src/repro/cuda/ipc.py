@@ -1,0 +1,64 @@
+"""CUDA IPC: exposing one process's device buffer to another.
+
+Intra-node, the paper's RDMA protocol rests on CUDA IPC: the sender
+extracts a memory handle for its packed-fragment ring buffer, ships it in
+the connection-request Active Message, and the receiver maps it once —
+"a single one-time establishment of the RDMA connection (and then caching
+the registration)" (Section 4.1).  Opening a handle costs
+``ipc_registration_cost``; subsequent uses of the mapped buffer are free,
+which is precisely why the paper moves pipelining from the PML down into
+the BTL.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hw.gpu import Gpu
+from repro.hw.memory import Buffer
+from repro.sim.core import Future
+
+__all__ = ["IpcMemHandle"]
+
+
+class IpcMemHandle:
+    """An exportable reference to a device buffer."""
+
+    def __init__(self, buf: Buffer) -> None:
+        if not buf.is_device:
+            raise ValueError("IPC handles can only reference device memory")
+        self.allocation = buf.allocation
+        self.offset = buf.offset
+        self.nbytes = buf.nbytes
+        self.source_gpu: Gpu = buf.device  # type: ignore[assignment]
+
+    @classmethod
+    def get(cls, buf: Buffer) -> "IpcMemHandle":
+        """cudaIpcGetMemHandle."""
+        return cls(buf)
+
+    def open(self, opener: Gpu, registration_cache: Optional[dict] = None) -> Future:
+        """cudaIpcOpenMemHandle: map the remote buffer into ``opener``.
+
+        Resolves with a :class:`Buffer` aliasing the exporter's bytes.
+        The first open of a given allocation pays the registration cost;
+        a registration cache (keyed per opener) makes repeats free.
+        """
+        sim = opener.sim
+        key = (self.allocation.alloc_id, self.offset, self.nbytes)
+        mapped = Buffer(self.allocation, self.offset, self.nbytes, label="ipc-mapped")
+        if registration_cache is not None and key in registration_cache:
+            fut = Future(sim, label="ipc.open.cached")
+            fut.resolve(mapped)
+            return fut
+        if registration_cache is not None:
+            registration_cache[key] = True
+        cost = _registration_cost(opener)
+        return sim.timeout(cost, value=mapped, label="ipc.open")
+
+
+def _registration_cost(gpu: Gpu) -> float:
+    node = gpu.node
+    if node is None:
+        return 90e-6
+    return node.params.ipc_registration_cost

@@ -1,0 +1,72 @@
+"""MPI derived datatypes and the CPU datatype engine.
+
+This package reimplements the parts of Open MPI's datatype machinery the
+paper builds on:
+
+* the full MPI type-constructor algebra (:mod:`repro.datatype.ddt`) —
+  contiguous, vector/hvector, indexed/hindexed/indexed_block, struct,
+  subarray, resized;
+* the flattened *typemap* representation (:mod:`repro.datatype.typemap`) —
+  coalesced (displacement, length) spans in pack order, computed with
+  vectorized NumPy span algebra so million-block types stay cheap;
+* the **stack-based convertor** (:mod:`repro.datatype.stack`,
+  :mod:`repro.datatype.convertor`) — Open MPI's pack/unpack state machine
+  ("a datatype is described by a concise stack-based representation",
+  Section 3), supporting pause/resume at arbitrary byte positions for
+  fragment pipelining;
+* a vectorized gather/scatter fast path validated against the stack
+  machine by property tests.
+"""
+
+from repro.datatype.primitives import (
+    BYTE,
+    CHAR,
+    DOUBLE,
+    FLOAT,
+    INT,
+    INT64,
+    SHORT,
+    Primitive,
+)
+from repro.datatype.ddt import (
+    Datatype,
+    contiguous,
+    hindexed,
+    hvector,
+    indexed,
+    indexed_block,
+    resized,
+    struct,
+    subarray,
+    vector,
+)
+from repro.datatype.typemap import Spans
+from repro.datatype.convertor import Convertor, pack_bytes, unpack_bytes
+from repro.datatype.numpy_bridge import byte_mask, datatype_from_slice
+
+__all__ = [
+    "Primitive",
+    "BYTE",
+    "CHAR",
+    "SHORT",
+    "INT",
+    "INT64",
+    "FLOAT",
+    "DOUBLE",
+    "Datatype",
+    "contiguous",
+    "vector",
+    "hvector",
+    "indexed",
+    "hindexed",
+    "indexed_block",
+    "struct",
+    "subarray",
+    "resized",
+    "Spans",
+    "Convertor",
+    "pack_bytes",
+    "unpack_bytes",
+    "byte_mask",
+    "datatype_from_slice",
+]

@@ -1,0 +1,86 @@
+"""NumPy interop: derive MPI datatypes from array slices.
+
+A downstream user usually thinks "send ``A[1:5, 3:9]``", not "construct a
+vector of blocklength …".  These helpers build the committed datatype
+describing a basic slice of an n-dimensional array, plus utilities to
+inspect which bytes of a buffer a datatype touches.
+
+>>> dt = datatype_from_slice((8, 8), np.s_[1:5, 3:9], DOUBLE, order="C")
+>>> # dt packs exactly A[1:5, 3:9] out of a row-major 8x8 array
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.datatype.ddt import Datatype, subarray
+from repro.datatype.primitives import Primitive
+
+__all__ = ["datatype_from_slice", "byte_mask", "described_elements"]
+
+
+def datatype_from_slice(
+    shape: Sequence[int],
+    key,
+    base: Primitive,
+    order: str = "C",
+) -> Datatype:
+    """The committed datatype selecting ``array[key]`` from ``array``.
+
+    ``key`` is anything a basic (non-strided) NumPy indexing expression
+    produces: a slice, an int, or a tuple of them — e.g. ``np.s_[1:5, 3:9]``.
+    Steps other than 1 are rejected (MPI subarrays are contiguous per
+    dimension; build a vector explicitly for strided selections).
+    """
+    shape = list(shape)
+    if not isinstance(key, tuple):
+        key = (key,)
+    if len(key) > len(shape):
+        raise ValueError("more indices than array dimensions")
+    key = key + (slice(None),) * (len(shape) - len(key))
+    starts: list[int] = []
+    subsizes: list[int] = []
+    for dim, (n, k) in enumerate(zip(shape, key)):
+        if isinstance(k, int):
+            if not -n <= k < n:
+                raise IndexError(f"index {k} out of range for dim {dim}")
+            k = slice(k % n, k % n + 1)
+        if not isinstance(k, slice):
+            raise TypeError(f"dim {dim}: only ints and slices are supported")
+        start, stop, step = k.indices(n)
+        if step != 1:
+            raise ValueError(
+                f"dim {dim}: step {step} unsupported — MPI subarrays are "
+                "contiguous per dimension"
+            )
+        if stop <= start:
+            raise ValueError(f"dim {dim}: empty selection")
+        starts.append(start)
+        subsizes.append(stop - start)
+    return subarray(shape, subsizes, starts, base, order=order).commit()
+
+
+def byte_mask(dt: Datatype, buffer_bytes: int, count: int = 1) -> np.ndarray:
+    """Boolean mask over a buffer: True where the datatype touches."""
+    spans = dt.spans_for_count(count)
+    if spans.count and (spans.true_lb < 0 or spans.true_ub > buffer_bytes):
+        raise ValueError("datatype reaches outside the buffer")
+    mask = np.zeros(buffer_bytes, dtype=bool)
+    for d, l in spans.iter_pairs():
+        mask[d : d + l] = True
+    return mask
+
+
+def described_elements(
+    dt: Datatype, array: np.ndarray, count: int = 1
+) -> np.ndarray:
+    """The packed element values the datatype would extract from ``array``."""
+    from repro.datatype.convertor import pack_bytes
+
+    # preserve the array's own memory layout ('A'): a Fortran-ordered
+    # array must be walked in Fortran order, matching its datatype
+    raw = np.frombuffer(array.tobytes(order="A"), dtype=np.uint8)
+    packed = pack_bytes(dt, count, raw)
+    return packed.view(array.dtype)

@@ -1,0 +1,57 @@
+"""Predefined (primitive) MPI datatypes.
+
+Primitives are the leaves of every derived type; the type *signature* —
+the ordered multiset of primitives, ignoring layout — is what MPI requires
+to match between communicating peers (Section 5.2.2 relies on this:
+a vector and a contiguous type with equal signatures may legally pair).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "Primitive",
+    "BYTE",
+    "CHAR",
+    "SHORT",
+    "INT",
+    "INT64",
+    "FLOAT",
+    "DOUBLE",
+    "PREDEFINED",
+]
+
+
+@dataclass(frozen=True)
+class Primitive:
+    """A predefined MPI datatype."""
+
+    mpi_name: str
+    np_dtype: str
+
+    @property
+    def size(self) -> int:
+        return np.dtype(self.np_dtype).itemsize
+
+    @property
+    def alignment(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:
+        return self.mpi_name
+
+
+BYTE = Primitive("MPI_BYTE", "u1")
+CHAR = Primitive("MPI_CHAR", "i1")
+SHORT = Primitive("MPI_SHORT", "i2")
+INT = Primitive("MPI_INT", "i4")
+INT64 = Primitive("MPI_INT64_T", "i8")
+FLOAT = Primitive("MPI_FLOAT", "f4")
+DOUBLE = Primitive("MPI_DOUBLE", "f8")
+
+PREDEFINED: dict[str, Primitive] = {
+    p.mpi_name: p for p in (BYTE, CHAR, SHORT, INT, INT64, FLOAT, DOUBLE)
+}

@@ -1,0 +1,35 @@
+"""The GPU datatype engine — the paper's primary contribution.
+
+Reproduces the two-stage design of Section 3:
+
+1. **CPU stage** (:mod:`repro.gpu_engine.dev`,
+   :mod:`repro.gpu_engine.work_units`): walk the datatype and emit
+   *Datatype Engine Vectors* — ``<source displacement, destination
+   displacement, length>`` tuples — then split them into equal-size
+   CUDA_DEV work units (S = 1/2/4 KB) balanced across warps.
+2. **GPU stage** (:mod:`repro.gpu_engine.dev_kernel`,
+   :mod:`repro.gpu_engine.vector_kernel`): a single kernel consumes the
+   unit array with a grid-stride loop; a specialized kernel handles
+   uniform vector types straight from (blocklength, stride, count).
+
+Unit arrays depend only on the datatype shape, so they are cacheable
+(:mod:`repro.gpu_engine.cache`), and their preparation is pipelined with
+kernel execution (:class:`repro.gpu_engine.engine.GpuDatatypeEngine`) —
+the two effects Fig 7 quantifies.
+"""
+
+from repro.gpu_engine.dev import DevList, to_devs
+from repro.gpu_engine.work_units import WorkUnits, split_units
+from repro.gpu_engine.cache import DevCache
+from repro.gpu_engine.engine import EngineOptions, GpuDatatypeEngine, PackJob
+
+__all__ = [
+    "DevList",
+    "to_devs",
+    "WorkUnits",
+    "split_units",
+    "DevCache",
+    "EngineOptions",
+    "GpuDatatypeEngine",
+    "PackJob",
+]

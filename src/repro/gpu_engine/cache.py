@@ -1,0 +1,88 @@
+"""Caching of CUDA_DEV work-unit arrays.
+
+"As the CUDA_DEV is tied to the data representation and is independent of
+the location of the source and destination buffers, it can be cached,
+either in the main or GPU memory, thereby minimizing the overheads of
+future pack/unpack operations ... by spending a few MBs of GPU memory to
+cache the CUDA_DEVs, the packing/unpacking performance could be
+significantly improved when using the same data type repetitively"
+(Sections 3.2 and 5.1 — the ``cached`` curves of Fig 7).
+
+The cache charges real simulated GPU memory for the descriptor arrays and
+evicts LRU when its budget is exhausted.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.datatype.ddt import Datatype
+from repro.gpu_engine.dev import to_devs
+from repro.gpu_engine.work_units import WorkUnits, split_units
+from repro.hw.gpu import Gpu
+from repro.hw.memory import Buffer
+
+__all__ = ["DevCache"]
+
+
+class DevCache:
+    """Per-GPU LRU cache of work-unit arrays, resident in device memory."""
+
+    def __init__(self, gpu: Gpu, budget_bytes: int = 64 * 1024 * 1024) -> None:
+        self.gpu = gpu
+        self.budget_bytes = budget_bytes
+        self._entries: OrderedDict[tuple, tuple[WorkUnits, Optional[Buffer]]] = (
+            OrderedDict()
+        )
+        self.bytes_cached = 0
+        self.hits = 0
+        self.misses = 0
+
+    def _key(self, dt: Datatype, count: int, unit_size: int) -> tuple:
+        return (dt.type_id, count, unit_size)
+
+    def get(self, dt: Datatype, count: int, unit_size: int) -> Optional[WorkUnits]:
+        """Cached unit array for (datatype, count, S), or None on miss."""
+        key = self._key(dt, count, unit_size)
+        hit = self._entries.get(key)
+        if hit is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return hit[0]
+
+    def put(
+        self,
+        dt: Datatype,
+        count: int,
+        unit_size: int,
+        units: Optional[WorkUnits] = None,
+    ) -> WorkUnits:
+        """Cache (charging GPU memory) and return the unit array.
+
+        ``units`` may be passed when the caller already computed the split.
+        """
+        key = self._key(dt, count, unit_size)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self._entries.move_to_end(key)
+            return cached[0]
+        if units is None:
+            units = split_units(to_devs(dt, count), unit_size)
+        need = units.descriptor_bytes
+        while self.bytes_cached + need > self.budget_bytes and self._entries:
+            _, (old, buf) = self._entries.popitem(last=False)
+            self.bytes_cached -= old.descriptor_bytes
+            if buf is not None:
+                buf.free()
+        dev_buf: Optional[Buffer] = None
+        if need > 0 and need <= self.budget_bytes:
+            dev_buf = self.gpu.memory.alloc(need, label="dev-cache")
+            self.bytes_cached += need
+        self._entries[key] = (units, dev_buf)
+        return units
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,32 @@
+"""Generic DEV pack/unpack kernel (Section 3.2).
+
+One kernel launch consumes a range of CUDA_DEV work units: "once the array
+of CUDA_DEVs is generated, it is copied into device memory and the
+corresponding GPU kernel is launched.  When a CUDA block finishes its
+work, it would jump N (total number of CUDA blocks) on the CUDA_DEVs array
+to retrieve its next unit of work."
+
+The cost model (in :meth:`repro.hw.gpu.Gpu.dev_kernel_stats`) charges each
+unit in whole block iterations, which is where the triangular matrix's
+~80 %-of-peak occupancy penalty comes from, and charges a per-unit fetch
+overhead that the grid amortizes.
+"""
+
+from __future__ import annotations
+
+from repro.gpu_engine.work_units import WorkUnits
+from repro.hw.gpu import Gpu, KernelStats
+
+__all__ = ["dev_kernel_stats"]
+
+
+def dev_kernel_stats(
+    gpu: Gpu,
+    units: WorkUnits,
+    unit_lo: int = 0,
+    unit_hi: int | None = None,
+    grid_blocks: int | None = None,
+) -> KernelStats:
+    """Kernel cost for processing units [unit_lo, unit_hi)."""
+    hi = units.count if unit_hi is None else unit_hi
+    return gpu.dev_kernel_stats(units.lens[unit_lo:hi], grid_blocks=grid_blocks)

@@ -1,0 +1,449 @@
+"""The GPU datatype engine driver.
+
+:class:`GpuDatatypeEngine` turns (datatype, count, user buffer) into a
+:class:`PackJob`: a fragment plan plus the machinery to pack or unpack
+each fragment with the right kernel, pipelined with the CPU preparation
+stage and optionally fed from the CUDA_DEV cache.
+
+Fragment processing is the engine's contract with the communication
+protocols (Section 4): the pipelined RDMA and copy-in/out protocols call
+``process_fragment`` per ring-buffer segment, so pack, wire transfer and
+unpack genuinely overlap on the simulated clock.
+
+Zero-copy targets (UMA-mapped host memory) are handled here too: the
+kernel's effective duration is clamped by PCIe and the PCIe direction is
+co-occupied for the fragment, reproducing the "implicitly handled by
+hardware, able to overlap with pack/unpack" behaviour of Section 4.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.cuda.uma import is_mapped_host
+from repro.datatype.convertor import Convertor
+from repro.datatype.ddt import Datatype, VectorShape
+from repro.gpu_engine.cache import DevCache
+from repro.gpu_engine.dev import to_devs
+from repro.gpu_engine.dev_kernel import dev_kernel_stats
+from repro.gpu_engine.vector_kernel import vector_kernel_stats
+from repro.gpu_engine.work_units import WorkUnits, split_units
+from repro.hw.gpu import Gpu, KernelStats, Stream
+from repro.hw.memory import Buffer
+from repro.sim.core import Future, all_of
+
+__all__ = ["EngineOptions", "Fragment", "PackJob", "GpuDatatypeEngine"]
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """Knobs the paper evaluates."""
+
+    #: CUDA_DEV size S (1/2/4 KB in the paper; 4 KB default)
+    unit_size: Optional[int] = None
+    #: overlap CPU DEV preparation with kernel execution (Fig 7 "pipeline")
+    pipeline_prep: bool = True
+    #: reuse cached CUDA_DEV arrays (Fig 7 "cached")
+    use_cache: bool = True
+    #: CUDA blocks granted to pack kernels (Section 5.3); None = default grid
+    grid_blocks: Optional[int] = None
+    #: force the generic DEV path even for vector-describable types
+    force_dev_path: bool = False
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """One pipeline fragment: packed-stream bytes [lo, hi)."""
+
+    index: int
+    lo: int
+    hi: int
+    unit_lo: int  # unit range (DEV path) or row range (vector path)
+    unit_hi: int
+
+    @property
+    def nbytes(self) -> int:
+        return self.hi - self.lo
+
+
+class PackJob:
+    """Pack or unpack of one (datatype, count, user buffer) triple."""
+
+    def __init__(
+        self,
+        engine: "GpuDatatypeEngine",
+        dt: Datatype,
+        count: int,
+        user_buf: Buffer,
+        direction: str,
+        options: EngineOptions,
+    ) -> None:
+        if direction not in ("pack", "unpack"):
+            raise ValueError("direction must be 'pack' or 'unpack'")
+        self.engine = engine
+        self.gpu = engine.gpu
+        self.dt = dt
+        self.count = count
+        self.user_buf = user_buf
+        self.direction = direction
+        self.options = options
+        self.total_bytes = dt.size * count
+        p = self.gpu.params
+        self.unit_size = options.unit_size or p.dev_unit_size
+        self.convertor = Convertor(dt, count, user_buf.bytes, direction)
+
+        shape = None if options.force_dev_path else dt.as_vector(count)
+        self.vector_shape: Optional[VectorShape] = shape
+        self.units: Optional[WorkUnits] = None
+        self._prepped_units = 0
+        self._prep_charged = False
+        if shape is None:
+            cached = None
+            if options.use_cache:
+                cached = engine.cache.get(dt, count, self.unit_size)
+            if cached is not None:
+                self.units = cached
+                self._prepped_units = cached.count
+                self._prep_charged = True
+            else:
+                self.units = split_units(to_devs(dt, count), self.unit_size)
+                if options.use_cache:
+                    # future jobs on this type skip preparation entirely;
+                    # this job still pays it (first use warms the cache)
+                    engine.cache.put(dt, count, self.unit_size, units=self.units)
+        self.stream = engine.stream
+
+    # -- planning ------------------------------------------------------------
+    @property
+    def uses_vector_kernel(self) -> bool:
+        return self.vector_shape is not None
+
+    def fragments(self, frag_bytes: int) -> list[Fragment]:
+        """Split the packed stream into pipeline fragments.
+
+        DEV-path fragments align to work-unit boundaries; vector-path
+        fragments align to whole rows.  Either way fragment boundaries are
+        granularity-aligned so the convertor fast path applies.
+        """
+        if frag_bytes <= 0:
+            raise ValueError("frag_bytes must be positive")
+        frags: list[Fragment] = []
+        if self.total_bytes == 0:
+            return frags
+        if self.uses_vector_kernel:
+            shape = self.vector_shape
+            assert shape is not None
+            rows_per_frag = max(1, frag_bytes // max(1, shape.blocklength))
+            i = 0
+            for row_lo in range(0, shape.count, rows_per_frag):
+                row_hi = min(shape.count, row_lo + rows_per_frag)
+                frags.append(
+                    Fragment(
+                        i,
+                        row_lo * shape.blocklength,
+                        row_hi * shape.blocklength,
+                        row_lo,
+                        row_hi,
+                    )
+                )
+                i += 1
+            return frags
+        units = self.units
+        assert units is not None
+        # accumulate units until the fragment budget is reached
+        csum = np.cumsum(units.lens)
+        i = 0
+        unit_lo = 0
+        while unit_lo < units.count:
+            base = csum[unit_lo - 1] if unit_lo else 0
+            target = base + frag_bytes
+            unit_hi = int(np.searchsorted(csum, target, side="left")) + 1
+            unit_hi = min(unit_hi, units.count)
+            lo, hi = units.packed_range(unit_lo, unit_hi)
+            frags.append(Fragment(i, lo, hi, unit_lo, unit_hi))
+            unit_lo = unit_hi
+            i += 1
+        return frags
+
+    def range_fragment(self, index: int, lo: int, hi: int) -> Fragment:
+        """Fragment for an externally chosen packed byte range [lo, hi).
+
+        Used when the *peer* dictates fragment boundaries (the receiver-
+        driven protocols): the unit range is the units overlapping the
+        byte range, so edge units may be counted fully — a conservative
+        sliver of extra kernel time.
+        """
+        if not (0 <= lo <= hi <= self.total_bytes):
+            raise ValueError(f"range [{lo}, {hi}) outside packed stream")
+        if self.uses_vector_kernel:
+            bl = max(1, self.vector_shape.blocklength)
+            return Fragment(index, lo, hi, lo // bl, -(-hi // bl))
+        units = self.units
+        assert units is not None
+        if lo == hi:
+            return Fragment(index, lo, hi, 0, 0)
+        unit_lo = int(np.searchsorted(units.dst_disps, lo, side="right")) - 1
+        unit_lo = max(0, unit_lo)
+        unit_hi = int(np.searchsorted(units.dst_disps, hi, side="left"))
+        return Fragment(index, lo, hi, unit_lo, unit_hi)
+
+    def single_fragment(self) -> Fragment:
+        """One fragment covering the whole packed stream."""
+        n_units = (
+            self.vector_shape.count if self.uses_vector_kernel else self.units.count
+        )
+        return Fragment(0, 0, self.total_bytes, 0, n_units)
+
+    # -- preparation (CPU stage) -----------------------------------------------
+    def _prep_needed(self, frag: Fragment) -> int:
+        """Units still unprepared in [0, frag.unit_hi)."""
+        if self.uses_vector_kernel or self._prep_charged:
+            return 0
+        return max(0, frag.unit_hi - self._prepped_units)
+
+    def prep_time(self, n_units: int) -> float:
+        """CPU time to emit ``n_units`` CUDA_DEVs (stage-1 walk)."""
+        if n_units <= 0:
+            return 0.0
+        p = self.gpu.params
+        units = self.units
+        assert units is not None
+        devs_per_unit = self.dt.spans_for_count(self.count).count / max(
+            1, units.count
+        )
+        return n_units * (p.dev_prep_per_unit + devs_per_unit * p.dev_prep_per_dev)
+
+    def prepare(self, frag: Fragment) -> Optional[Future]:
+        """Charge CPU prep + descriptor upload for the fragment, if needed.
+
+        The cuda_dev_dist upload (24 B/unit) rides an async staging path,
+        so it is charged as time on the preparing CPU rather than as a
+        full-overhead PCIe operation — descriptors are 3 orders of
+        magnitude smaller than the data they describe.
+        """
+        n = self._prep_needed(frag)
+        if n == 0:
+            return None
+        self._prepped_units = frag.unit_hi
+        node = self.gpu.node
+        upload = (n * 24) / self.gpu.h2d_link.bandwidth
+        return node.cpu_prep_engine.transfer(
+            0, extra_overhead=self.prep_time(n) + upload, label="dev-prep"
+        )
+
+    # -- kernel (GPU stage) ------------------------------------------------------
+    def kernel_stats(self, frag: Fragment) -> KernelStats:
+        """Cost-model stats for one fragment's kernel launch."""
+        if self.uses_vector_kernel:
+            shape = self.vector_shape
+            assert shape is not None
+            # fractional rows: a fragment may cover part of a huge row
+            # (e.g. a contiguous type is one row of the whole message)
+            rows = (frag.hi - frag.lo) / max(1, shape.blocklength)
+            return vector_kernel_stats(
+                self.gpu,
+                shape,
+                rows=rows,
+                grid_blocks=self.options.grid_blocks,
+            )
+        return dev_kernel_stats(
+            self.gpu,
+            self.units,
+            frag.unit_lo,
+            frag.unit_hi,
+            grid_blocks=self.options.grid_blocks,
+        )
+
+    def _move(self, frag: Fragment, contig: Buffer) -> None:
+        """The actual byte movement for the fragment (at kernel completion)."""
+        view = contig.bytes
+        if self.direction == "pack":
+            self.convertor.pack_range(view, frag.lo, frag.hi)
+        else:
+            self.convertor.unpack_range(view, frag.lo, frag.hi)
+
+    def run_kernel(
+        self,
+        frag: Fragment,
+        contig: Buffer,
+        stream: Optional[Stream] = None,
+    ) -> Future:
+        """Launch the pack/unpack kernel for one fragment.
+
+        ``contig`` holds exactly this fragment's packed bytes.  If it is
+        zero-copy-mapped host memory (or a peer GPU's memory), the kernel
+        streams over PCIe: duration is clamped by the link and the link is
+        co-occupied.
+        """
+        if contig.nbytes < frag.nbytes:
+            raise ValueError("contiguous buffer smaller than fragment")
+        stats = self.kernel_stats(frag)
+        stream = stream or self.stream
+        duration = stats.total_time
+        co_links = []
+        link = self._remote_link(contig)
+        if link is not None:
+            # kernels reaching a peer GPU's memory issue latency-bound
+            # PCIe transactions and under-utilize the wire; zero-copy to
+            # mapped *host* memory streams at full rate (write-combining)
+            eff = 1.0 if contig.is_host else (
+                self.gpu.node.params.p2p_kernel_efficiency
+                if self.gpu.node is not None
+                else 1.0
+            )
+            wire = link.overhead + frag.nbytes / (link.bandwidth * eff)
+            duration = max(duration, wire) + link.latency
+            co_links.append(link)
+        else:
+            # purely in-device kernels share the GPU's DRAM with every
+            # other stream (two ranks on one GPU contend realistically)
+            co_links.append(self.gpu.copy_engine)
+        return stream.enqueue(
+            duration,
+            fn=lambda: self._move(frag, contig),
+            label=f"{self.direction}-kernel[{frag.index}]",
+            co_links=co_links,
+            nbytes=frag.nbytes,
+        )
+
+    def _remote_link(self, contig: Buffer):
+        """PCIe link a kernel must stream over to reach its buffers.
+
+        Either side may be remote: the contiguous (packed) buffer — the
+        protocols' case — or the *user* layout buffer, which happens for
+        one-sided operations where the origin's kernel scatters/gathers
+        directly in a peer's mapped window.
+        """
+        link = self._link_for(contig)
+        if link is not None:
+            return link
+        return self._link_for(self.user_buf)
+
+    def _link_for(self, buf: Buffer):
+        if buf.is_host:
+            if buf is self.user_buf and not is_mapped_host(buf):
+                # a host-resident *user* buffer is the CPU convertor's
+                # business normally; a GPU kernel can only reach it mapped
+                return None
+            if is_mapped_host(buf):
+                return (
+                    self.gpu.d2h_link
+                    if self.direction == "pack"
+                    else self.gpu.h2d_link
+                )
+            raise ValueError(
+                "kernel target is unmapped host memory; zero-copy requires "
+                "map_host_buffer()"
+            )
+        peer = buf.device
+        if peer is not None and peer is not self.gpu:
+            link = self.gpu.p2p_links.get(peer.name)
+            if link is None:
+                raise ValueError(f"no P2P path {self.gpu.name} -> {peer.name}")
+            return link
+        return None
+
+    def prepare_for(self, frag: Fragment) -> Optional[Future]:
+        """Preparation future for a fragment honouring the pipeline option.
+
+        With pipelining, only the units the fragment needs are converted;
+        without it, the *entire* remaining datatype is converted up front
+        ("the GPU idles when the CPU is preparing the CUDA DEVs array" —
+        the non-pipelined curves of Fig 7).
+        """
+        if self._prep_needed(frag) == 0:
+            return None
+        if self.options.pipeline_prep:
+            return self.prepare(frag)
+        return self.prepare(self.single_fragment())
+
+    def process_fragment(
+        self,
+        frag: Fragment,
+        contig: Buffer,
+        stream: Optional[Stream] = None,
+    ):
+        """Coroutine: prepare (if needed) then run the fragment's kernel."""
+        prep = self.prepare_for(frag)
+        if prep is not None:
+            yield prep
+        done = yield self.run_kernel(frag, contig, stream)
+        return done
+
+    def process_all(
+        self,
+        contig: Buffer,
+        frag_bytes: Optional[int] = None,
+        stream: Optional[Stream] = None,
+    ):
+        """Coroutine: pack/unpack the whole message into/from ``contig``.
+
+        With ``frag_bytes`` the job is fragmented and the CPU preparation
+        pipelines with kernel execution (prep of fragment *i+1* overlaps
+        the kernel of fragment *i*, because kernels queue on the stream
+        while the coroutine immediately continues preparing).
+        """
+        if contig.nbytes < self.total_bytes:
+            raise ValueError("contiguous buffer smaller than the message")
+        frags = (
+            [self.single_fragment()]
+            if frag_bytes is None
+            else self.fragments(frag_bytes)
+        )
+        kernel_futs = []
+        for frag in frags:
+            prep = self.prepare_for(frag)
+            if prep is not None:
+                yield prep
+            kernel_futs.append(
+                self.run_kernel(frag, contig[frag.lo : frag.hi], stream)
+            )
+        if kernel_futs:
+            yield all_of(self.gpu.sim, kernel_futs)
+        return self.total_bytes
+
+
+class GpuDatatypeEngine:
+    """Per-GPU facade: builds :class:`PackJob` objects and owns the cache."""
+
+    def __init__(
+        self,
+        gpu: Gpu,
+        cache: Optional[DevCache] = None,
+        stream_name: str = "dtengine",
+    ) -> None:
+        if gpu.node is None:
+            raise ValueError("GPU must be attached to a node")
+        self.gpu = gpu
+        self.cache = cache or DevCache(gpu)
+        self.stream = gpu.stream(stream_name)
+
+    def pack_job(
+        self,
+        dt: Datatype,
+        count: int,
+        user_buf: Buffer,
+        options: Optional[EngineOptions] = None,
+    ) -> PackJob:
+        """Build a pack job for (datatype, count, user buffer)."""
+        return PackJob(self, dt, count, user_buf, "pack", options or EngineOptions())
+
+    def unpack_job(
+        self,
+        dt: Datatype,
+        count: int,
+        user_buf: Buffer,
+        options: Optional[EngineOptions] = None,
+    ) -> PackJob:
+        """Build an unpack job for (datatype, count, user buffer)."""
+        return PackJob(
+            self, dt, count, user_buf, "unpack", options or EngineOptions()
+        )
+
+    def warm_cache(self, dt: Datatype, count: int, unit_size: Optional[int] = None):
+        """Precompute and cache the CUDA_DEV array for a datatype."""
+        s = unit_size or self.gpu.params.dev_unit_size
+        return self.cache.put(dt, count, s)

@@ -1,0 +1,38 @@
+"""Simulated hardware: memories, GPUs, PCIe, NICs, nodes, clusters.
+
+The hardware layer has two responsibilities that are kept deliberately
+coupled:
+
+1. **Function** — device and host memories are real NumPy-backed byte
+   arenas; copies and kernels move real bytes, so the datatype engines on
+   top can be validated bit-for-bit.
+2. **Time** — every operation charges a modeled duration to a simulated
+   resource (a GPU stream/SM array, a PCIe direction, a NIC port), so the
+   paper's bandwidth and overlap phenomena are reproduced on the simulated
+   clock.
+"""
+
+from repro.hw.memory import Buffer, Memory, MemoryKind, OutOfMemory
+from repro.hw.params import GpuParams, HostParams, LinkParams, SystemParams, k40_cluster
+from repro.hw.gpu import Gpu, KernelStats
+from repro.hw.pcie import PcieSwitch
+from repro.hw.nic import Nic
+from repro.hw.node import Cluster, Node
+
+__all__ = [
+    "Buffer",
+    "Memory",
+    "MemoryKind",
+    "OutOfMemory",
+    "GpuParams",
+    "HostParams",
+    "LinkParams",
+    "SystemParams",
+    "k40_cluster",
+    "Gpu",
+    "KernelStats",
+    "PcieSwitch",
+    "Nic",
+    "Cluster",
+    "Node",
+]

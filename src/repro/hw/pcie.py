@@ -1,0 +1,73 @@
+"""PCI-Express fabric model.
+
+Each GPU hangs off the switch with a dedicated x16 port, modeled as two
+independent FIFO directions (H2D and D2H) so full-duplex traffic overlaps
+but same-direction traffic serializes — the property behind the paper's
+observation that "packed GPU data always goes through PCI-E ... thus PCI-E
+bandwidth could be a bottleneck of overall communication" (Section 5.2).
+
+Peer-to-peer (CUDA IPC / GPUDirect P2P) paths get their own links per
+ordered GPU pair, with the slightly higher GPU-GPU bandwidth the paper
+cites from [18].
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.hw.params import LinkParams, SystemParams
+from repro.sim.core import Simulator
+from repro.sim.resources import FifoLink
+from repro.sim.trace import Tracer
+
+if TYPE_CHECKING:
+    from repro.hw.gpu import Gpu
+
+__all__ = ["PcieSwitch"]
+
+
+class PcieSwitch:
+    """Wires a node's GPUs to the host and to each other."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        params: SystemParams,
+        node_name: str,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.sim = sim
+        self.params = params
+        self.node_name = node_name
+        self.tracer = tracer
+        self._gpus: list["Gpu"] = []
+
+    def _mk(self, name: str, lp: LinkParams) -> FifoLink:
+        return FifoLink(
+            self.sim,
+            name,
+            bandwidth=lp.bandwidth,
+            latency=lp.latency,
+            overhead=lp.overhead,
+            tracer=self.tracer,
+        )
+
+    def attach(self, gpu: "Gpu") -> None:
+        """Give the GPU its H2D/D2H ports and P2P paths to earlier GPUs."""
+        p = self.params
+        gpu.h2d_link = self._mk(f"{self.node_name}.pcie.h2d.{gpu.name}", p.pcie_h2d)
+        gpu.d2h_link = self._mk(f"{self.node_name}.pcie.d2h.{gpu.name}", p.pcie_d2h)
+        for other in self._gpus:
+            fwd = self._mk(
+                f"{self.node_name}.pcie.p2p.{other.name}->{gpu.name}", p.pcie_p2p
+            )
+            back = self._mk(
+                f"{self.node_name}.pcie.p2p.{gpu.name}->{other.name}", p.pcie_p2p
+            )
+            other.p2p_links[gpu.name] = fwd
+            gpu.p2p_links[other.name] = back
+        self._gpus.append(gpu)
+
+    @property
+    def gpus(self) -> list["Gpu"]:
+        return list(self._gpus)

@@ -1,0 +1,41 @@
+"""BML: BTL management layer.
+
+"Below the PML, the BML manages different network devices, handles
+multi-link data transfers, and selects the most suitable BTL for a
+communication based on the current network device" (Section 4).  Here the
+policy is the paper's: shared memory within a node, InfiniBand across
+nodes; endpoints are cached so protocol state (IPC registrations,
+sequence counters) persists across messages.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.mpi.btl.ib import IbBtl
+from repro.mpi.btl.sm import SmBtl
+
+if TYPE_CHECKING:
+    from repro.mpi.btl.base import Btl
+    from repro.mpi.proc import MpiProcess
+
+__all__ = ["Bml"]
+
+
+class Bml:
+    """Per-world BTL selector/cache."""
+
+    def __init__(self) -> None:
+        self._endpoints: dict[tuple[int, int], "Btl"] = {}
+
+    def btl_for(self, src: "MpiProcess", dst: "MpiProcess") -> "Btl":
+        """The cached transport endpoint from ``src`` toward ``dst``."""
+        key = (src.rank, dst.rank)
+        btl = self._endpoints.get(key)
+        if btl is None:
+            if src.node is dst.node:
+                btl = SmBtl(src, dst)
+            else:
+                btl = IbBtl(src, dst)
+            self._endpoints[key] = btl
+        return btl

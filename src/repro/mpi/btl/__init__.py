@@ -1,0 +1,15 @@
+"""Byte Transfer Layers: the lowest tier of the stack.
+
+"The lowest layer, the BTL (byte transfer layer), is used for the actual
+point-to-point byte movement ... mainly deals with low level network
+communication protocols where the focus is on optimally moving blobs of
+bytes" (Section 4).  Two transports are provided, matching the paper's
+evaluation: shared memory (:mod:`repro.mpi.btl.sm`, with CUDA IPC) and
+InfiniBand (:mod:`repro.mpi.btl.ib`, with GPUDirect).
+"""
+
+from repro.mpi.btl.base import Btl
+from repro.mpi.btl.sm import SmBtl
+from repro.mpi.btl.ib import IbBtl
+
+__all__ = ["Btl", "SmBtl", "IbBtl"]

@@ -1,0 +1,91 @@
+"""BTL interface: Active Messages over a byte mover.
+
+"The implementation of our pipelined RDMA protocol uses BTL-level Active
+Message, which is an asynchronous communication mechanism ... each
+message header contains the reference of a callback handler triggered on
+the receiver side, allowing the sender to specify how the message will be
+handled on the receiver side upon message arrival" (Section 4.1).
+
+An :meth:`Btl.am_send` charges the wire cost (header + optional payload)
+and, at delivery time, hands the packet to the destination process's
+dispatcher.  Handlers run at arrival; anything long-running should punt
+into a coroutine or mailbox.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Any, Optional
+
+import numpy as np
+
+from repro.mpi.message import AmPacket, Envelope
+from repro.sim.core import Future
+
+if TYPE_CHECKING:
+    from repro.mpi.proc import MpiProcess
+
+__all__ = ["Btl"]
+
+
+class Btl(ABC):
+    """One transport between a fixed (sender, receiver) process pair."""
+
+    name = "base"
+
+    def __init__(self, src: "MpiProcess", dst: "MpiProcess") -> None:
+        self.src = src
+        self.dst = dst
+        self.am_sends = 0
+        self.bytes_sent = 0
+
+    # -- capabilities ------------------------------------------------------
+    @property
+    def same_node(self) -> bool:
+        return self.src.node is self.dst.node
+
+    @property
+    @abstractmethod
+    def supports_cuda_ipc(self) -> bool:
+        """True when device buffers can be cross-mapped (intra-node IPC)."""
+
+    @property
+    @abstractmethod
+    def header_cost_bytes(self) -> int:
+        ...
+
+    @abstractmethod
+    def _wire_send(self, nbytes: int, label: str, gpudirect: bool = False) -> Future:
+        """Charge the transport for ``nbytes``; resolve at delivery."""
+
+    # -- Active Messages ------------------------------------------------------
+    def am_send(
+        self,
+        handler: str,
+        header: dict[str, Any],
+        payload: Optional[np.ndarray] = None,
+        envelope: Optional[Envelope] = None,
+        label: str = "",
+        gpudirect: bool = False,
+    ) -> Future:
+        """Send an AM; the returned future resolves at *delivery*.
+
+        The payload is snapshotted at call time (DMA-read semantics).
+        With ``gpudirect`` the NIC reads/writes device memory directly
+        (only meaningful on transports that support it).
+        """
+        data = None if payload is None else np.array(payload, dtype=np.uint8)
+        packet = AmPacket(handler=handler, header=dict(header), payload=data,
+                          envelope=envelope)
+        nbytes = self.header_cost_bytes + packet.payload_bytes
+        self.am_sends += 1
+        self.bytes_sent += nbytes
+        wire = self._wire_send(nbytes, label or f"am:{handler}", gpudirect=gpudirect)
+        done = Future(self.src.sim, label=f"am:{handler}")
+
+        def deliver(_f: Future) -> None:
+            self.dst.dispatch(packet, self)
+            done.resolve(packet)
+
+        wire.add_callback(deliver)
+        return done

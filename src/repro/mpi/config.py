@@ -1,0 +1,54 @@
+"""Tunables of the MPI stack — the paper's experimental knobs.
+
+Every configuration the evaluation varies is a field here: pipeline
+fragment size and depth, CUDA IPC on/off (RDMA vs copy-in/out), zero-copy
+on/off, receiver local staging (the 10-15 % effect of Section 5.2.1),
+GPUDirect RDMA (only profitable under ~30 KB, per [14]), and the engine
+options (cache, prep pipelining, grid size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.gpu_engine.engine import EngineOptions
+
+__all__ = ["MpiConfig"]
+
+KB = 1024
+MB = 1024 * KB
+
+
+@dataclass(frozen=True)
+class MpiConfig:
+    #: messages at or below this size go eager (single Active Message)
+    eager_limit: int = 12 * KB
+    #: rendezvous pipeline fragment size
+    frag_bytes: int = 1 * MB
+    #: ring-buffer depth (concurrent in-flight fragments)
+    pipeline_depth: int = 4
+
+    #: allow CUDA IPC (intra-node GPU RDMA); when False the copy-in/out
+    #: protocol is used even within a node (Section 4.2's motivation)
+    use_cuda_ipc: bool = True
+    #: use GPUDirect RDMA for inter-node GPU transfers instead of host
+    #: staging (the paper avoids it for large messages)
+    use_gpudirect_rdma: bool = False
+    #: receiver copies each packed fragment into a local GPU buffer before
+    #: unpacking, instead of unpacking from the mapped remote buffer —
+    #: "by using a local GPU buffer, the performance is 10-15% faster"
+    receiver_local_staging: bool = True
+    #: UMA zero-copy for host staging buffers (copy-in/out protocol)
+    zero_copy: bool = True
+    #: direction of the general RDMA pipeline (Section 4.1 mentions both):
+    #: "get" — sender packs into its own ring, receiver pulls (default,
+    #: the Fig 4 flow); "put" — receiver exposes its ring, the sender's
+    #: pack kernels write it directly through the mapped window
+    rdma_mode: str = "get"
+
+    #: GPU datatype engine options
+    engine: EngineOptions = field(default_factory=EngineOptions)
+
+    def but(self, **kw) -> "MpiConfig":
+        """A modified copy (keyword-for-keyword)."""
+        return replace(self, **kw)

@@ -1,0 +1,83 @@
+"""MPI message matching: posted receives vs unexpected messages.
+
+Implements the MPI ordering guarantee: messages from the same (source,
+communicator) match posted receives in send order (the envelope sequence
+number provides the total order per source), and a receive posted with
+wildcards matches the earliest eligible unexpected message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.mpi.message import Envelope
+from repro.sim.core import Future
+
+__all__ = ["PostedRecv", "MatchingEngine"]
+
+
+@dataclass
+class PostedRecv:
+    """A receive waiting for a sender."""
+
+    source: int
+    tag: int
+    comm_id: int
+    on_match: Future  # resolved with the matched arrival object
+    posted_order: int = 0
+
+
+class MatchingEngine:
+    """Per-rank matcher."""
+
+    def __init__(self) -> None:
+        self._posted: list[PostedRecv] = []
+        self._unexpected: list[tuple[Envelope, Any]] = []
+        self._order = 0
+
+    # -- sender side -----------------------------------------------------
+    def arrive(self, env: Envelope, arrival: Any) -> Optional[PostedRecv]:
+        """A first-fragment/RTS arrived; match or queue as unexpected.
+
+        Returns the matched posted receive (already removed), or None.
+        ``arrival`` is whatever the protocol needs to continue (an RTS
+        descriptor, eager data, ...) and is handed to the receive.
+        """
+        for i, post in enumerate(self._posted):
+            if env.matches(post.source, post.tag) and env.comm_id == post.comm_id:
+                del self._posted[i]
+                post.on_match.resolve(arrival)
+                return post
+        self._unexpected.append((env, arrival))
+        return None
+
+    # -- receiver side --------------------------------------------------------
+    def post(self, post: PostedRecv) -> Optional[Any]:
+        """Post a receive; if an unexpected message matches, consume it.
+
+        Unexpected messages from one source are scanned in arrival order,
+        preserving MPI's non-overtaking rule.
+        """
+        best_i = -1
+        best_seq = None
+        for i, (env, _arr) in enumerate(self._unexpected):
+            if env.matches(post.source, post.tag) and env.comm_id == post.comm_id:
+                if best_seq is None or env.seq < best_seq:
+                    best_i, best_seq = i, env.seq
+        if best_i >= 0:
+            env, arrival = self._unexpected.pop(best_i)
+            post.on_match.resolve(arrival)
+            return arrival
+        post.posted_order = self._order
+        self._order += 1
+        self._posted.append(post)
+        return None
+
+    @property
+    def unexpected_count(self) -> int:
+        return len(self._unexpected)
+
+    @property
+    def posted_count(self) -> int:
+        return len(self._posted)

@@ -1,0 +1,52 @@
+"""Message envelopes and wire-format bookkeeping."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Envelope", "AmPacket"]
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+_seq = itertools.count()
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """MPI matching triple plus ordering sequence number."""
+
+    source: int
+    dest: int
+    tag: int
+    comm_id: int
+    seq: int = field(default_factory=lambda: next(_seq))
+
+    def matches(self, want_source: int, want_tag: int) -> bool:
+        """Does this envelope satisfy a posted (source, tag) pair?"""
+        src_ok = want_source == ANY_SOURCE or want_source == self.source
+        tag_ok = want_tag == ANY_TAG or want_tag == self.tag
+        return src_ok and tag_ok
+
+
+@dataclass
+class AmPacket:
+    """One Active Message: handler name, small header, optional payload.
+
+    The payload, when present, is a *snapshot* of the bytes at send time
+    (the BTL copies out of the user/staging buffer), matching real
+    transports where the NIC DMA-reads the send buffer at issue.
+    """
+
+    handler: str
+    header: dict[str, Any]
+    payload: Optional[np.ndarray] = None
+    envelope: Optional[Envelope] = None
+
+    @property
+    def payload_bytes(self) -> int:
+        return 0 if self.payload is None else int(self.payload.nbytes)

@@ -1,0 +1,315 @@
+"""PML: point-to-point management layer.
+
+"At the top level, the PML realizes the MPI matching, fragments, and
+reassembles the message data ... Different protocols based on the message
+size (short, eager, and rendezvous) and network properties are available,
+and the PML is designed to pick the best combination" (Section 4).
+
+Send path: eager for small messages (data rides the RTS Active Message);
+rendezvous otherwise — the RTS advertises the sender's buffer placement,
+contiguity and, when CUDA IPC applies, an IPC handle (of the user buffer
+for contiguous sends, of the device fragment ring otherwise).  The
+receiver matches, chooses the protocol (receiver-driven GET handshake),
+answers with a CTS, and both sides run the chosen pipeline from
+:mod:`repro.mpi.protocols`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.cuda.ipc import IpcMemHandle
+from repro.datatype.ddt import Datatype
+from repro.hw.memory import Buffer
+from repro.mpi.matching import PostedRecv
+from repro.mpi.message import Envelope
+from repro.mpi.requests import Status
+from repro.mpi.protocols import RECEIVERS, SENDERS, choose_protocol
+from repro.mpi.protocols.common import (
+    CpuSideJob,
+    SideInfo,
+    TransferState,
+    describe_side,
+)
+from repro.sim.core import Future
+from repro.sim.resources import Mailbox
+
+if TYPE_CHECKING:
+    from repro.mpi.proc import MpiProcess
+    from repro.mpi.world import MpiWorld
+
+__all__ = ["isend_coro", "irecv_coro"]
+
+_tids = itertools.count()
+
+
+def _signature_check(send_sig, recv_sig) -> None:
+    """MPI demands the send signature be a prefix of the receive's."""
+    flat_s = [(n, c) for n, c in send_sig]
+    flat_r = [(n, c) for n, c in recv_sig]
+    si = ri = 0
+    s_rem = r_rem = 0
+    s_name = r_name = None
+    while True:
+        if s_rem == 0:
+            if si == len(flat_s):
+                return  # send exhausted: OK
+            s_name, s_rem = flat_s[si]
+            si += 1
+        if r_rem == 0:
+            if ri == len(flat_r):
+                raise ValueError("type signature mismatch: receive too short")
+            r_name, r_rem = flat_r[ri]
+            ri += 1
+        if s_name != r_name:
+            raise ValueError(
+                f"type signature mismatch: {s_name} sent into {r_name}"
+            )
+        take = min(s_rem, r_rem)
+        s_rem -= take
+        r_rem -= take
+
+
+# ---------------------------------------------------------------------------
+# eager protocol
+# ---------------------------------------------------------------------------
+
+
+def _eager_pack_coro(
+    proc: "MpiProcess",
+    buf: Buffer,
+    dt: Datatype,
+    count: int,
+    gpudirect: bool = False,
+):
+    """Produce the message's bytes for an eager send.
+
+    Host buffers CPU-pack into a bounce array; device buffers GPU-pack
+    into a zero-copy host bounce — or, with GPUDirect RDMA, into a
+    *device* bounce that the NIC reads directly (no host transit; the
+    PCIe D2H leg disappears, which is why GPUDirect wins for small
+    messages).
+    """
+    total = dt.size * count
+    if buf.is_host:
+        job = CpuSideJob(proc, dt, count, buf, "pack")
+        stage = np.empty(total, dtype=np.uint8)
+        yield job.process_range(0, total, stage)
+        return stage
+    job = proc.engine.pack_job(dt, count, buf, proc.config.engine)
+    if gpudirect:
+        dstage = proc.acquire_staging("device", max(total, 256))
+        yield from job.process_all(dstage[:total])
+        data = dstage.bytes[:total].copy()
+        proc.release_staging("device", dstage)
+        return data
+    # pack via the GPU engine into a zero-copy host bounce buffer
+    hstage = proc.acquire_staging("host", max(total, 256), zero_copy_map=True)
+    yield from job.process_all(hstage[:total])
+    data = hstage.bytes[:total].copy()
+    proc.release_staging("host", hstage, zero_copy_map=True)
+    return data
+
+
+def _eager_unpack_coro(
+    proc: "MpiProcess",
+    buf: Buffer,
+    dt: Datatype,
+    count: int,
+    data: np.ndarray,
+    gpudirect: bool = False,
+):
+    # a receive may be posted larger than the message actually sent
+    total = min(dt.size * count, len(data))
+    if buf.is_host:
+        job = CpuSideJob(proc, dt, count, buf, "unpack")
+        yield job.process_range(0, total, data)
+        return total
+    job = proc.engine.unpack_job(dt, count, buf, proc.config.engine)
+    if gpudirect:
+        # the NIC deposited the message straight into device memory
+        dstage = proc.acquire_staging("device", max(total, 256))
+        dstage.bytes[:total] = data[:total]
+        yield from job.process_all(dstage[:total])
+        proc.release_staging("device", dstage)
+        return total
+    hstage = proc.acquire_staging("host", max(total, 256), zero_copy_map=True)
+    hstage.bytes[:total] = data[:total]
+    yield from job.process_all(hstage[:total])
+    proc.release_staging("host", hstage, zero_copy_map=True)
+    return total
+
+
+# ---------------------------------------------------------------------------
+# send / recv coroutines
+# ---------------------------------------------------------------------------
+
+
+def isend_coro(
+    world: "MpiWorld",
+    proc: "MpiProcess",
+    buf: Buffer,
+    dt: Datatype,
+    count: int,
+    dest: int,
+    tag: int,
+    comm_id: int = 0,
+):
+    """Sender-side PML coroutine: eager or rendezvous per DESIGN/PROTOCOLS."""
+    dt.commit()
+    total = dt.size * count
+    dst_proc = world.procs[dest]
+    btl = world.bml.btl_for(proc, dst_proc)
+    env = Envelope(source=proc.rank, dest=dest, tag=tag, comm_id=comm_id)
+    cfg = proc.config
+
+    if total <= cfg.eager_limit:
+        gdr = (
+            buf.is_device
+            and getattr(btl, "supports_gpudirect", False)
+            and dst_proc.gpu is not None
+        )
+        data = yield from _eager_pack_coro(proc, buf, dt, count, gpudirect=gdr)
+        header = {
+            "eager": True,
+            "total": total,
+            "signature": dt.signature,
+            "gpudirect": gdr,
+        }
+        # the NIC reads device memory directly under GPUDirect (degraded
+        # rate beyond the ~30 KB crossover, at wire speed below it)
+        yield btl.am_send(
+            "pml.rts", header, payload=data, envelope=env, gpudirect=gdr
+        )
+        return total
+
+    tid = f"{proc.rank}.{next(_tids)}"
+    s_info = describe_side(proc, buf, dt, count)
+    s_info.frag_bytes = cfg.frag_bytes
+    s_info.ring_segments = cfg.pipeline_depth
+
+    state = TransferState(
+        proc=proc,
+        btl=btl,
+        tid=tid,
+        dt=dt,
+        count=count,
+        buf=buf,
+        total=total,
+        frag_bytes=cfg.frag_bytes,
+        depth=cfg.pipeline_depth,
+        role="s",
+    )
+    # RDMA resources are advertised in the RTS (Fig 4: the connection
+    # request carries the memory handle and the local datatype's shape)
+    ring_key = None
+    if s_info.loc == "device" and btl.supports_cuda_ipc:
+        if s_info.contiguous:
+            s_info.handle = IpcMemHandle.get(buf)
+        else:
+            nbytes = cfg.frag_bytes * cfg.pipeline_depth
+            state.ring = proc.acquire_staging("device", nbytes)
+            ring_key = nbytes
+            s_info.handle = IpcMemHandle.get(state.ring)
+
+    cts_box = Mailbox(proc.sim, name=f"{tid}.cts")
+    proc.register_handler(f"x{tid}.s.cts", lambda pkt, _b: cts_box.put(pkt))
+    state.bind_inbox("done")
+    try:
+        btl.am_send(
+            "pml.rts",
+            {
+                "eager": False,
+                "tid": tid,
+                "total": total,
+                "side": s_info,
+                "signature": dt.signature,
+            },
+            envelope=env,
+        )
+        cts_pkt = yield cts_box.get()
+        protocol = cts_pkt.header["protocol"]
+        r_info: SideInfo = cts_pkt.header["side"]
+        result = yield from SENDERS[protocol](state, s_info, r_info, cts_pkt.header)
+    finally:
+        proc.unregister_handler(f"x{tid}.s.cts")
+        state.unbind_all("done")
+        if state.ring is not None:
+            proc.release_staging("device", state.ring)
+    return result
+
+
+def irecv_coro(
+    world: "MpiWorld",
+    proc: "MpiProcess",
+    buf: Buffer,
+    dt: Datatype,
+    count: int,
+    source: int,
+    tag: int,
+    comm_id: int = 0,
+):
+    """Receiver-side PML coroutine: match, choose protocol, run it."""
+    dt.commit()
+    on_match = Future(proc.sim, label=f"r{proc.rank}.match")
+    proc.matching.post(
+        PostedRecv(source=source, tag=tag, comm_id=comm_id, on_match=on_match)
+    )
+    env, header, payload, sender_rank = yield on_match
+    _signature_check(header["signature"], dt.signature)
+
+    if header["eager"]:
+        got = yield from _eager_unpack_coro(
+            proc, buf, dt, count, payload,
+            gpudirect=header.get("gpudirect", False),
+        )
+        return Status(source=env.source, tag=env.tag, count_bytes=got)
+
+    tid = header["tid"]
+    s_info: SideInfo = header["side"]
+    src_proc = world.procs[sender_rank]
+    btl_back = world.bml.btl_for(proc, src_proc)
+    r_info = describe_side(proc, buf, dt, count)
+    protocol = choose_protocol(s_info, r_info, btl_back)
+
+    state = TransferState(
+        proc=proc,
+        btl=btl_back,
+        tid=tid,
+        dt=dt,
+        count=count,
+        buf=buf,
+        total=min(s_info.total, dt.size * count),
+        # the sender dictates the fragmentation (its ring is sized for it)
+        frag_bytes=s_info.frag_bytes,
+        depth=s_info.ring_segments,
+        role="r",
+    )
+    state.bind_inbox("frag")
+    state.bind_inbox("done")
+    try:
+        if protocol == "ipc_rdma":
+            # the ipc_rdma receiver sends its own CTS (after mapping)
+            result = yield from RECEIVERS[protocol](state, s_info, r_info)
+        else:
+            btl_back.am_send(
+                state.peer("cts"), {"protocol": protocol, "side": r_info}
+            )
+            result = yield from RECEIVERS[protocol](state, s_info, r_info)
+    finally:
+        state.unbind_all("frag", "done")
+    return Status(source=env.source, tag=env.tag, count_bytes=result)
+
+
+def rts_handler(world: "MpiWorld", proc: "MpiProcess"):
+    """The PML's match handler, registered once per rank."""
+
+    def handle(pkt, _btl) -> None:
+        env = pkt.envelope
+        arrival = (env, pkt.header, pkt.payload, env.source)
+        proc.matching.arrive(env, arrival)
+
+    return handle

@@ -1,0 +1,117 @@
+"""Per-rank process state: the endpoint everything else hangs off."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.cuda.runtime import CudaContext
+from repro.gpu_engine.engine import GpuDatatypeEngine
+from repro.mpi.config import MpiConfig
+from repro.mpi.matching import MatchingEngine
+from repro.mpi.message import AmPacket
+from repro.sim.core import Simulator
+
+if TYPE_CHECKING:
+    from repro.hw.gpu import Gpu
+    from repro.hw.node import Node
+    from repro.mpi.btl.base import Btl
+
+__all__ = ["MpiProcess"]
+
+
+class MpiProcess:
+    """One MPI rank: placement, GPU context, matching, AM dispatch."""
+
+    def __init__(
+        self,
+        rank: int,
+        node: "Node",
+        gpu: Optional["Gpu"],
+        config: MpiConfig,
+    ) -> None:
+        self.rank = rank
+        self.node = node
+        self.gpu = gpu
+        self.config = config
+        self.sim: Simulator = node.sim
+        self.matching = MatchingEngine()
+        self.ctx: Optional[CudaContext] = CudaContext(gpu) if gpu else None
+        self._engine: Optional[GpuDatatypeEngine] = None
+        self._handlers: dict[str, Callable[[AmPacket, "Btl"], None]] = {}
+        #: CUDA IPC registration cache — "a single one-time establishment
+        #: of the RDMA connection (and then caching the registration)"
+        self.ipc_cache: dict = {}
+        self.am_received = 0
+        # staging-buffer free lists, keyed (kind, nbytes, mapped)
+        self._staging_pool: dict = {}
+
+    # -- staging buffer pool ------------------------------------------------
+    def acquire_staging(
+        self, kind: str, nbytes: int, zero_copy_map: bool = False
+    ):
+        """Reusable staging buffer ('host' or 'device'), pooled per rank.
+
+        Pooling mirrors the registration/allocation caching real
+        implementations do: a ping-pong reuses the same ring every
+        iteration, so IPC handles stay cached on the peer.
+        """
+        from repro.cuda.uma import map_host_buffer
+
+        key = (kind, nbytes, zero_copy_map)
+        pool = self._staging_pool.setdefault(key, [])
+        if pool:
+            return pool.pop()
+        if kind == "device":
+            if self.gpu is None:
+                raise RuntimeError(f"rank {self.rank} has no GPU for staging")
+            return self.gpu.memory.alloc(nbytes, label="staging")
+        buf = self.node.host_memory.alloc(nbytes, label="staging")
+        if zero_copy_map:
+            if self.gpu is None:
+                raise RuntimeError("zero-copy staging needs a GPU")
+            map_host_buffer(buf, self.gpu)
+        return buf
+
+    def release_staging(self, kind: str, buf, zero_copy_map: bool = False) -> None:
+        """Return a staging buffer to its pool."""
+        self._staging_pool[(kind, buf.nbytes, zero_copy_map)].append(buf)
+
+    @property
+    def engine(self) -> GpuDatatypeEngine:
+        """The rank's GPU datatype engine (created on first GPU use)."""
+        if self._engine is None:
+            if self.gpu is None:
+                raise RuntimeError(f"rank {self.rank} has no GPU")
+            # per-process stream: ranks sharing a GPU still get their own
+            # CUDA streams, so sender pack and receiver unpack overlap
+            self._engine = GpuDatatypeEngine(
+                self.gpu, stream_name=f"dtengine.r{self.rank}"
+            )
+        return self._engine
+
+    # -- Active Message dispatch -----------------------------------------
+    def register_handler(
+        self, name: str, fn: Callable[[AmPacket, "Btl"], None]
+    ) -> None:
+        """Bind an Active Message handler name (must be unused)."""
+        if name in self._handlers:
+            raise ValueError(f"rank {self.rank}: handler {name!r} already bound")
+        self._handlers[name] = fn
+
+    def unregister_handler(self, name: str) -> None:
+        """Remove an Active Message handler binding, if present."""
+        self._handlers.pop(name, None)
+
+    def dispatch(self, packet: AmPacket, btl: "Btl") -> None:
+        """Deliver an arriving Active Message to its handler."""
+        self.am_received += 1
+        fn = self._handlers.get(packet.handler)
+        if fn is None:
+            raise RuntimeError(
+                f"rank {self.rank}: no handler for AM {packet.handler!r}"
+            )
+        fn(packet, btl)
+
+    def __repr__(self) -> str:
+        where = self.gpu.name if self.gpu else self.node.name
+        return f"MpiProcess(rank={self.rank} @ {where})"

@@ -1,0 +1,38 @@
+"""Rendezvous transfer protocols.
+
+Three pipelines, selected by the receiver during the handshake
+(Section 4.1: "the packing/unpacking is entirely driven by the receiver
+acting upon a GET protocol, providing an opportunity for a handshake
+prior to the beginning of the operation"):
+
+* :mod:`repro.mpi.protocols.host_pipeline` — both buffers in host memory
+  (the traditional Open MPI path; the paper's ``CPU`` baseline curves);
+* :mod:`repro.mpi.protocols.ipc_rdma` — intra-node GPU RDMA over CUDA
+  IPC with the Fig 4 fragment ring, including the contiguous fast paths;
+* :mod:`repro.mpi.protocols.copy_in_out` — GPU data staged through host
+  memory (inter-node, IPC-disabled, or mixed host/device pairs), with
+  optional UMA zero-copy.
+"""
+
+from repro.mpi.protocols.common import SideInfo, TransferState, choose_protocol
+from repro.mpi.protocols import copy_in_out, host_pipeline, ipc_rdma
+
+SENDERS = {
+    "host": host_pipeline.sender,
+    "copyinout": copy_in_out.sender,
+    "ipc_rdma": ipc_rdma.sender,
+}
+
+RECEIVERS = {
+    "host": host_pipeline.receiver,
+    "copyinout": copy_in_out.receiver,
+    "ipc_rdma": ipc_rdma.receiver,
+}
+
+__all__ = [
+    "SideInfo",
+    "TransferState",
+    "choose_protocol",
+    "SENDERS",
+    "RECEIVERS",
+]

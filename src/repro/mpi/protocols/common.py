@@ -1,0 +1,167 @@
+"""Shared protocol plumbing: side descriptions, jobs, fragment plans."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.cuda.ipc import IpcMemHandle
+from repro.datatype.convertor import Convertor
+from repro.datatype.ddt import Datatype
+from repro.gpu_engine.engine import PackJob
+from repro.hw.memory import Buffer
+from repro.sim.core import Future
+from repro.sim.resources import Mailbox, Semaphore
+
+if TYPE_CHECKING:
+    from repro.mpi.btl.base import Btl
+    from repro.mpi.proc import MpiProcess
+
+__all__ = [
+    "SideInfo",
+    "TransferState",
+    "CpuSideJob",
+    "byte_ranges",
+    "describe_side",
+    "choose_protocol",
+]
+
+
+@dataclass
+class SideInfo:
+    """What one peer reveals about its buffer during the handshake."""
+
+    loc: str  # "host" | "device"
+    gpu_name: Optional[str]
+    contiguous: bool
+    total: int
+    #: IPC handle of the user buffer (contiguous-device fast paths) or of
+    #: the sender's fragment ring (general RDMA path)
+    handle: Optional[IpcMemHandle] = None
+    ring_segments: int = 0
+    frag_bytes: int = 0
+
+
+def describe_side(
+    proc: "MpiProcess", buf: Buffer, dt: Datatype, count: int
+) -> SideInfo:
+    """Build the handshake description of one endpoint's buffer."""
+    return SideInfo(
+        loc="device" if buf.is_device else "host",
+        gpu_name=buf.device.name if buf.is_device else None,
+        contiguous=dt.is_contiguous,
+        total=dt.size * count,
+    )
+
+
+def choose_protocol(s: SideInfo, r: SideInfo, btl: "Btl") -> str:
+    """The receiver-side handshake decision (Section 4.1)."""
+    if s.loc == "host" and r.loc == "host":
+        return "host"
+    if btl.supports_cuda_ipc and s.loc == "device" and r.loc == "device":
+        return "ipc_rdma"
+    return "copyinout"
+
+
+def byte_ranges(total: int, frag: int) -> list[tuple[int, int]]:
+    """The packed stream cut into pipeline fragments."""
+    if total == 0:
+        return [(0, 0)]
+    return [(lo, min(lo + frag, total)) for lo in range(0, total, frag)]
+
+
+@dataclass
+class TransferState:
+    """Per-transfer state shared by a protocol coroutine and its handlers."""
+
+    proc: "MpiProcess"
+    btl: "Btl"
+    tid: str
+    dt: Datatype
+    count: int
+    buf: Buffer
+    total: int
+    frag_bytes: int
+    depth: int
+    #: inbound protocol messages (frag-ready / acks / done)
+    inbox: Mailbox = None  # type: ignore[assignment]
+    credits: Semaphore = None  # type: ignore[assignment]
+    #: sender-side device fragment ring (ipc_rdma general mode)
+    ring: Optional[Buffer] = None
+    #: which side of the transfer this state belongs to ("s" or "r") —
+    #: qualifies AM handler names so a rank sending to *itself* (e.g. a
+    #: collective's self-contribution) binds both sides without collision
+    role: str = "s"
+
+    def __post_init__(self) -> None:
+        sim = self.proc.sim
+        self.inbox = Mailbox(sim, name=f"{self.tid}.inbox")
+        self.credits = Semaphore(sim, value=self.depth, name=f"{self.tid}.credits")
+
+    # -- handler helpers -----------------------------------------------------
+    def bind(self, suffix: str, fn) -> str:
+        """Register a role-qualified AM handler for this transfer."""
+        name = f"x{self.tid}.{self.role}.{suffix}"
+        self.proc.register_handler(name, fn)
+        return name
+
+    def bind_inbox(self, suffix: str) -> str:
+        """Route an AM handler's packets into this transfer's inbox."""
+        return self.bind(suffix, lambda pkt, _btl: self.inbox.put(pkt))
+
+    def bind_credit(self, suffix: str) -> str:
+        """Make an AM handler release one pipeline credit per packet."""
+        return self.bind(suffix, lambda pkt, _btl: self.credits.release())
+
+    def unbind_all(self, *suffixes: str) -> None:
+        """Remove this side's handlers for the given suffixes."""
+        for s in suffixes:
+            self.proc.unregister_handler(f"x{self.tid}.{self.role}.{s}")
+
+    def peer(self, suffix: str) -> str:
+        """Handler name on the peer side of the same transfer."""
+        other = "r" if self.role == "s" else "s"
+        return f"x{self.tid}.{other}.{suffix}"
+
+
+class CpuSideJob:
+    """Host-side pack/unpack charged to the node's CPU pack engine.
+
+    The symmetric counterpart of :class:`repro.gpu_engine.engine.PackJob`
+    for buffers living in host memory (the traditional datatype engine).
+    """
+
+    def __init__(
+        self,
+        proc: "MpiProcess",
+        dt: Datatype,
+        count: int,
+        buf: Buffer,
+        direction: str,
+    ) -> None:
+        self.proc = proc
+        self.node = proc.node
+        self.direction = direction
+        self.convertor = Convertor(dt, count, buf.bytes, direction)
+        self.contiguous = dt.is_contiguous
+        self.buf = buf
+        self.total = dt.size * count
+
+    def process_range(self, lo: int, hi: int, stage) -> Future:
+        """Pack [lo, hi) into ``stage`` / unpack ``stage`` into [lo, hi).
+
+        ``stage`` may be a :class:`Buffer` or a raw ``uint8`` view (e.g. an
+        Active Message payload).
+        """
+        n = hi - lo
+        view = stage.bytes if isinstance(stage, Buffer) else stage
+        if self.direction == "pack":
+            def move() -> None:
+                self.convertor.pack_range(view, lo, hi)
+        else:
+            def move() -> None:
+                self.convertor.unpack_range(view, lo, hi)
+        if self.contiguous:
+            # no transformation needed — a straight memcpy
+            return self.node.cpu_memcpy_op(n, fn=move, label=f"cpu-{self.direction}")
+        return self.node.cpu_pack_op(n, fn=move, label=f"cpu-{self.direction}")

@@ -1,0 +1,143 @@
+"""Copy-in/copy-out protocol: GPU data staged through host memory.
+
+"In some cases, due to hardware limitations or system level security
+restrictions, the IPC is disabled and GPU RDMA transfers are not
+available ... we provide a copy in/copy out protocol, where all data
+transfers go through host memory" (Section 4.2).  This is also the path
+the paper uses for **inter-node** transfers: staging through host with
+the pipeline beats GPUDirect RDMA beyond ~30 KB.
+
+Pipelining overlaps, per fragment: GPU pack kernel, device-to-host
+movement (explicit memcpy or — with UMA *zero copy* — implicitly inside
+the kernel), wire transfer, host-to-device movement, and GPU unpack.
+Either endpoint may instead be a host buffer, in which case its side
+degenerates to the CPU convertor ("extremely similar to the case when
+one process uses device memory while the other only uses host memory").
+"""
+
+from __future__ import annotations
+
+from repro.mpi.protocols.common import (
+    CpuSideJob,
+    SideInfo,
+    TransferState,
+    byte_ranges,
+)
+from repro.sim.core import Future
+
+__all__ = ["sender", "receiver"]
+
+
+def _ring(state: TransferState, zero_copy: bool):
+    """Acquire the host staging ring (optionally UMA-mapped) and segments."""
+    nbytes = state.frag_bytes * state.depth
+    ring = state.proc.acquire_staging("host", nbytes, zero_copy_map=zero_copy)
+    segs = [
+        ring[i * state.frag_bytes : (i + 1) * state.frag_bytes]
+        for i in range(state.depth)
+    ]
+    return ring, segs
+
+
+def sender(state: TransferState, s_info: SideInfo, r_info: SideInfo, cts: dict):
+    """Sender side of the copy-in/out pipeline (pack -> stage -> wire)."""
+    proc, btl = state.proc, state.btl
+    cfg = proc.config
+    ranges = byte_ranges(state.total, state.frag_bytes)
+    n_frags = len(ranges)
+    acks = {"n": 0}
+    all_acked = Future(proc.sim, label=f"{state.tid}.all-acked")
+
+    def on_ack(pkt, _btl) -> None:
+        acks["n"] += 1
+        state.credits.release()
+        if acks["n"] == n_frags:
+            all_acked.resolve(None)
+
+    state.bind("ack", on_ack)
+
+    on_device = s_info.loc == "device"
+    zero_copy = on_device and cfg.zero_copy
+    ring, segs = _ring(state, zero_copy)
+    dev_stage = None
+    if on_device and not zero_copy:
+        dev_stage = proc.acquire_staging(
+            "device", state.frag_bytes * state.depth
+        )
+    try:
+        if on_device:
+            job = proc.engine.pack_job(state.dt, state.count, state.buf, cfg.engine)
+        else:
+            job = CpuSideJob(proc, state.dt, state.count, state.buf, "pack")
+        for i, (lo, hi) in enumerate(ranges):
+            yield state.credits.acquire()
+            seg = segs[i % state.depth][: hi - lo]
+            if on_device:
+                frag = job.range_fragment(i, lo, hi)
+                if zero_copy:
+                    # the pack kernel streams straight into the mapped
+                    # host segment, PCIe co-occupied (Fig 7's "cpy")
+                    yield from job.process_fragment(frag, seg)
+                else:
+                    dseg = segs_dev(dev_stage, state, i)[: hi - lo]
+                    yield from job.process_fragment(frag, dseg)
+                    yield proc.gpu.memcpy_d2h(seg, dseg)
+            else:
+                yield job.process_range(lo, hi, seg)
+            btl.am_send(
+                state.peer("frag"), {"i": i, "lo": lo, "hi": hi}, payload=seg.bytes
+            )
+        yield all_acked
+    finally:
+        state.proc.release_staging("host", ring, zero_copy_map=zero_copy)
+        if dev_stage is not None:
+            proc.release_staging("device", dev_stage)
+        state.unbind_all("ack")
+    return state.total
+
+
+def segs_dev(dev_stage, state: TransferState, i: int):
+    """Device-staging ring segment for fragment ``i``."""
+    lo = (i % state.depth) * state.frag_bytes
+    return dev_stage[lo : lo + state.frag_bytes]
+
+
+def receiver(state: TransferState, s_info: SideInfo, r_info: SideInfo):
+    """Receiver side of the copy-in/out pipeline (deposit -> unpack)."""
+    proc, btl = state.proc, state.btl
+    cfg = proc.config
+    ranges = byte_ranges(state.total, state.frag_bytes)
+    on_device = r_info.loc == "device"
+    zero_copy = on_device and cfg.zero_copy
+    ring, segs = _ring(state, zero_copy)
+    dev_stage = None
+    if on_device and not zero_copy:
+        dev_stage = proc.acquire_staging("device", state.frag_bytes * state.depth)
+    try:
+        if on_device:
+            job = proc.engine.unpack_job(state.dt, state.count, state.buf, cfg.engine)
+        else:
+            job = CpuSideJob(proc, state.dt, state.count, state.buf, "unpack")
+        for k in range(len(ranges)):
+            pkt = yield state.inbox.get()
+            i, lo, hi = pkt.header["i"], pkt.header["lo"], pkt.header["hi"]
+            seg = segs[i % state.depth][: hi - lo]
+            # the wire deposited the fragment into our posted staging
+            seg.bytes[:] = pkt.payload[: hi - lo]
+            if on_device:
+                frag = job.range_fragment(i, lo, hi)
+                if zero_copy:
+                    yield from job.process_fragment(frag, seg)
+                else:
+                    dseg = segs_dev(dev_stage, state, i)[: hi - lo]
+                    yield proc.gpu.memcpy_h2d(dseg, seg)
+                    yield from job.process_fragment(frag, dseg)
+            else:
+                yield job.process_range(lo, hi, seg.bytes)
+            btl.am_send(state.peer("ack"), {"i": i})
+    finally:
+        proc.release_staging("host", ring, zero_copy_map=zero_copy)
+        if dev_stage is not None:
+            proc.release_staging("device", dev_stage)
+        state.unbind_all("frag")
+    return state.total

@@ -1,0 +1,77 @@
+"""MPI request and status objects (``MPI_Request`` / ``MPI_Status``)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.sim.core import Future, Process
+
+__all__ = ["Request", "Status"]
+
+
+@dataclass(frozen=True)
+class Status:
+    """Completion information of a receive (``MPI_Status``)."""
+
+    source: int
+    tag: int
+    count_bytes: int
+
+    def get_count(self, datatype) -> int:
+        """Number of whole ``datatype`` elements received (MPI_Get_count)."""
+        if datatype.size == 0:
+            return 0
+        if self.count_bytes % datatype.size:
+            return -1  # MPI_UNDEFINED: a partial element arrived
+        return self.count_bytes // datatype.size
+
+
+class Request:
+    """Handle on an in-flight isend/irecv.
+
+    A :class:`Request` *is* awaitable — ranks ``yield req`` to wait —
+    and exposes ``test()`` for polling loops.
+    """
+
+    def __init__(self, proc: Process, kind: str, nbytes: int) -> None:
+        self._proc = proc
+        self.kind = kind  # "send" | "recv"
+        self.nbytes = nbytes
+
+    @property
+    def future(self) -> Process:
+        return self._proc
+
+    @property
+    def done(self) -> bool:
+        return self._proc.done
+
+    def test(self) -> bool:
+        """Non-blocking completion check (MPI_Test)."""
+        return self._proc.done
+
+    @property
+    def value(self) -> Any:
+        return self._proc.value
+
+    # duck-type as a Future so `yield request` works inside rank programs
+    def add_callback(self, cb) -> None:
+        """Future-protocol hook so ``yield request`` works in programs."""
+        self._proc.add_callback(cb)
+
+    @property
+    def failed(self) -> bool:
+        return self._proc.failed
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._proc.exception
+
+    @property
+    def _value(self):  # Future resume protocol
+        return self._proc._value
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else "pending"
+        return f"Request({self.kind}, {self.nbytes}B, {state})"

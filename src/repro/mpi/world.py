@@ -1,0 +1,217 @@
+"""MPI world construction and the per-rank user API.
+
+:class:`MpiWorld` places ranks on (node, gpu) slots of a simulated
+cluster and runs rank *programs* — generator coroutines receiving a
+:class:`RankContext` — to completion on the simulated clock:
+
+>>> world = MpiWorld(cluster, placements=[(0, 0), (0, 1)])
+>>> def rank0(mpi):
+...     yield mpi.send(buf, dtype, 1, dest=1, tag=0)
+>>> def rank1(mpi):
+...     yield mpi.recv(buf, dtype, 1, source=0, tag=0)
+>>> elapsed = world.run({0: rank0, 1: rank1})
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.datatype.ddt import Datatype
+from repro.hw.memory import Buffer
+from repro.hw.node import Cluster
+from repro.mpi.bml import Bml
+from repro.mpi.comm import Communicator
+from repro.mpi.config import MpiConfig
+from repro.mpi.message import ANY_SOURCE, ANY_TAG
+from repro.mpi.pml import irecv_coro, isend_coro, rts_handler
+from repro.mpi.proc import MpiProcess
+from repro.mpi.requests import Request
+from repro.sim.core import Future, Process, all_of, any_of
+
+__all__ = ["MpiWorld", "RankContext"]
+
+
+class MpiWorld:
+    """A set of ranks over a cluster, sharing one BML and clock."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        placements: Sequence[tuple[int, Optional[int]]],
+        config: Optional[MpiConfig] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.config = config or MpiConfig()
+        self.bml = Bml()
+        self.procs: list[MpiProcess] = []
+        for rank, (node_i, gpu_i) in enumerate(placements):
+            node = cluster.nodes[node_i]
+            gpu = node.gpus[gpu_i] if gpu_i is not None else None
+            proc = MpiProcess(rank, node, gpu, self.config)
+            proc.register_handler("pml.rts", rts_handler(self, proc))
+            self.procs.append(proc)
+        self._barrier_waiters: list[Future] = []
+        self._barrier_arrived = 0
+        #: MPI_COMM_WORLD
+        self.comm_world = Communicator(self, comm_id=0)
+
+    @property
+    def size(self) -> int:
+        return len(self.procs)
+
+    def context(self, rank: int) -> "RankContext":
+        """The :class:`RankContext` API handle for one rank."""
+        return RankContext(self, self.procs[rank])
+
+    # -- running programs ------------------------------------------------------
+    def run(
+        self,
+        programs: "dict[int, Callable] | Sequence[Callable]",
+        limit: float = 1e6,
+    ) -> float:
+        """Run one generator program per rank; returns elapsed sim time.
+
+        ``programs`` maps rank -> program; a sequence assigns by index.
+        Each program is called with its rank's :class:`RankContext`.
+        """
+        if not isinstance(programs, dict):
+            programs = dict(enumerate(programs))
+        t0 = self.sim.now
+        procs: list[Process] = []
+        for rank, fn in programs.items():
+            mpi = self.context(rank)
+            procs.append(self.sim.spawn(fn(mpi), label=f"rank{rank}"))
+        done = all_of(self.sim, procs, label="world.run")
+        self.sim.run_until_complete(done, limit=limit)
+        return self.sim.now - t0
+
+    # -- naive barrier (no wire cost; for test scaffolding) ----------------------
+    def _barrier(self, _rank: int) -> Future:
+        fut = Future(self.sim, label="barrier")
+        self._barrier_waiters.append(fut)
+        self._barrier_arrived += 1
+        if self._barrier_arrived == self.size:
+            waiters, self._barrier_waiters = self._barrier_waiters, []
+            self._barrier_arrived = 0
+            for w in waiters:
+                w.resolve(None)
+        return fut
+
+
+class RankContext:
+    """What a rank program sees: buffers, datatypes, send/recv."""
+
+    def __init__(self, world: MpiWorld, proc: MpiProcess) -> None:
+        self.world = world
+        self.proc = proc
+        self.rank = proc.rank
+        self.size = world.size
+        self.node = proc.node
+        self.gpu = proc.gpu
+        self.cuda = proc.ctx
+        self.sim = proc.sim
+        self.config = proc.config
+
+    # -- memory helpers ------------------------------------------------------
+    def device_alloc(self, nbytes: int, label: str = "") -> Buffer:
+        """Allocate device memory on this rank's GPU."""
+        if self.cuda is None:
+            raise RuntimeError(f"rank {self.rank} has no GPU")
+        return self.cuda.malloc(nbytes, label=label)
+
+    def host_alloc(self, nbytes: int, label: str = "") -> Buffer:
+        """Allocate host memory on this rank's node."""
+        return self.node.host_memory.alloc(nbytes, label=label)
+
+    # -- point-to-point --------------------------------------------------------
+    def isend(
+        self,
+        buf: Buffer,
+        datatype: Datatype,
+        count: int,
+        dest: int,
+        tag: int = 0,
+        comm: "Communicator | None" = None,
+    ) -> Request:
+        """Nonblocking send; returns a waitable :class:`Request`."""
+        comm_id = comm.comm_id if comm is not None else 0
+        proc = self.sim.spawn(
+            isend_coro(
+                self.world, self.proc, buf, datatype, count, dest, tag,
+                comm_id=comm_id,
+            ),
+            label=f"isend r{self.rank}->r{dest}",
+        )
+        return Request(proc, "send", datatype.size * count)
+
+    def irecv(
+        self,
+        buf: Buffer,
+        datatype: Datatype,
+        count: int,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        comm: "Communicator | None" = None,
+    ) -> Request:
+        """Nonblocking receive; resolves with a :class:`Status`."""
+        comm_id = comm.comm_id if comm is not None else 0
+        proc = self.sim.spawn(
+            irecv_coro(
+                self.world, self.proc, buf, datatype, count, source, tag,
+                comm_id=comm_id,
+            ),
+            label=f"irecv r{self.rank}<-r{source}",
+        )
+        return Request(proc, "recv", datatype.size * count)
+
+    def send(self, buf, datatype, count, dest, tag: int = 0, comm=None) -> Request:
+        """Blocking send: ``yield mpi.send(...)`` completes the transfer."""
+        return self.isend(buf, datatype, count, dest, tag, comm=comm)
+
+    def recv(
+        self, buf, datatype, count, source=ANY_SOURCE, tag=ANY_TAG, comm=None
+    ) -> Request:
+        """Blocking receive: ``yield mpi.recv(...)``."""
+        return self.irecv(buf, datatype, count, source, tag, comm=comm)
+
+    @property
+    def comm_world(self) -> Communicator:
+        return self.world.comm_world
+
+    def sendrecv(
+        self,
+        sendbuf: Buffer,
+        send_dt: Datatype,
+        send_count: int,
+        dest: int,
+        recvbuf: Buffer,
+        recv_dt: Datatype,
+        recv_count: int,
+        source: int = ANY_SOURCE,
+        sendtag: int = 0,
+        recvtag: int = ANY_TAG,
+    ) -> Future:
+        """MPI_Sendrecv: both directions in flight, deadlock-free.
+
+        Resolves with ``[send_result, recv_status]``.
+        """
+        sreq = self.isend(sendbuf, send_dt, send_count, dest, sendtag)
+        rreq = self.irecv(recvbuf, recv_dt, recv_count, source, recvtag)
+        return all_of(self.sim, [sreq.future, rreq.future])
+
+    def barrier(self) -> Future:
+        """Synchronize all ranks (cost-free scaffolding barrier)."""
+        return self.world._barrier(self.rank)
+
+    def wait_all(self, *requests: Request) -> Future:
+        """Future resolving when every given request completes."""
+        return all_of(self.sim, [r.future for r in requests])
+
+    def wait_any(self, *requests: Request) -> Future:
+        """Resolves with ``(index, value)`` of the first completed request."""
+        return any_of(self.sim, [r.future for r in requests])
+
+    @property
+    def now(self) -> float:
+        return self.sim.now

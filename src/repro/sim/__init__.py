@@ -1,0 +1,38 @@
+"""Discrete-event simulation kernel.
+
+Everything in :mod:`repro` that "takes time" — GPU kernels, PCIe copies,
+network messages, CPU packing — is an operation scheduled on a
+:class:`~repro.sim.core.Simulator`.  MPI ranks and protocol state machines
+run as generator-based :class:`~repro.sim.core.Process` coroutines that
+``yield`` :class:`~repro.sim.core.Future` objects, so sender-side packing,
+wire transfer and receiver-side unpacking genuinely overlap (or fail to)
+on the simulated clock.
+"""
+
+from repro.sim.core import (
+    Future,
+    Process,
+    ProcessKilled,
+    SimulationError,
+    Simulator,
+    all_of,
+    any_of,
+)
+from repro.sim.resources import FifoLink, Mailbox, Resource, Semaphore
+from repro.sim.trace import Span, Tracer
+
+__all__ = [
+    "Future",
+    "Process",
+    "ProcessKilled",
+    "SimulationError",
+    "Simulator",
+    "all_of",
+    "any_of",
+    "FifoLink",
+    "Mailbox",
+    "Resource",
+    "Semaphore",
+    "Span",
+    "Tracer",
+]

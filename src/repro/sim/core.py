@@ -1,0 +1,328 @@
+"""Core discrete-event simulation engine.
+
+The engine is deliberately small and deterministic:
+
+* :class:`Simulator` owns a monotonically non-decreasing clock and a binary
+  heap of scheduled callbacks.  Ties are broken by insertion order so runs
+  are bit-for-bit reproducible.
+* :class:`Future` is a one-shot completion token.  Hardware models resolve
+  futures when an operation's modeled duration elapses.
+* :class:`Process` wraps a generator coroutine.  A process ``yield``\\ s
+  futures (or other processes — a :class:`Process` *is* a future) and is
+  resumed with the future's value once it resolves.  Exceptions propagate
+  into the generator via ``throw`` so protocol code can use ordinary
+  ``try/except``.
+
+Time is measured in **seconds** as floats; bandwidths elsewhere in the
+package are bytes/second.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "SimulationError",
+    "ProcessKilled",
+    "Future",
+    "Process",
+    "Simulator",
+    "all_of",
+    "any_of",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for scheduling misuse (running backwards, double-resolve...)."""
+
+
+class ProcessKilled(Exception):
+    """Injected into a process generator when :meth:`Process.kill` is called."""
+
+
+_PENDING = object()
+
+
+class Future:
+    """A one-shot value container that processes can wait on.
+
+    A future is resolved exactly once, either with a value
+    (:meth:`resolve`) or an exception (:meth:`fail`).  Callbacks added
+    after resolution run immediately.
+    """
+
+    __slots__ = ("sim", "_value", "_exception", "_callbacks", "label")
+
+    def __init__(self, sim: "Simulator", label: str = "") -> None:
+        self.sim = sim
+        self._value: Any = _PENDING
+        self._exception: Optional[BaseException] = None
+        self._callbacks: list[Callable[["Future"], None]] = []
+        self.label = label
+
+    # -- state ----------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self._value is not _PENDING or self._exception is not None
+
+    @property
+    def failed(self) -> bool:
+        return self._exception is not None
+
+    @property
+    def value(self) -> Any:
+        if self._exception is not None:
+            raise self._exception
+        if self._value is _PENDING:
+            raise SimulationError(f"future {self.label!r} not resolved yet")
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._exception
+
+    # -- transitions ----------------------------------------------------
+    def resolve(self, value: Any = None) -> None:
+        """Complete the future with a value (exactly once)."""
+        if self.done:
+            raise SimulationError(f"future {self.label!r} resolved twice")
+        self._value = value
+        self._dispatch()
+
+    def fail(self, exc: BaseException) -> None:
+        """Complete the future with an exception (exactly once)."""
+        if self.done:
+            raise SimulationError(f"future {self.label!r} resolved twice")
+        self._exception = exc
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+    def add_callback(self, cb: Callable[["Future"], None]) -> None:
+        """Run ``cb(self)`` when resolved (immediately if already done)."""
+        if self.done:
+            cb(self)
+        else:
+            self._callbacks.append(cb)
+
+
+class Process(Future):
+    """A generator-based coroutine driven by the simulator.
+
+    The wrapped generator may ``yield``:
+
+    * a :class:`Future` (including another :class:`Process`) — the process
+      sleeps until it resolves and is resumed with its value;
+    * ``None`` — the process is rescheduled at the current time, after any
+      already-queued callbacks (a cooperative yield point).
+
+    The process itself is a future resolving with the generator's return
+    value, or failing with its uncaught exception.
+    """
+
+    __slots__ = ("_gen", "_killed")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        gen: Generator[Any, Any, Any],
+        label: str = "",
+    ) -> None:
+        super().__init__(sim, label=label or getattr(gen, "__name__", "process"))
+        if not hasattr(gen, "send"):
+            raise TypeError(
+                f"Process needs a generator, got {type(gen).__name__}; "
+                "did you forget to call the generator function?"
+            )
+        self._gen = gen
+        self._killed = False
+        sim.call_soon(lambda: self._step(None, None))
+
+    def kill(self, reason: str = "killed") -> None:
+        """Throw :class:`ProcessKilled` into the coroutine at the next step."""
+        if self.done:
+            return
+        self._killed = True
+        self.sim.call_soon(lambda: self._step(None, ProcessKilled(reason)))
+
+    def _step(self, value: Any, exc: Optional[BaseException]) -> None:
+        if self.done:
+            return
+        try:
+            if exc is not None:
+                target = self._gen.throw(exc)
+            else:
+                target = self._gen.send(value)
+        except StopIteration as stop:
+            self.resolve(stop.value)
+            return
+        except ProcessKilled as killed:
+            self.fail(killed)
+            return
+        except BaseException as err:  # propagate into waiters
+            self.fail(err)
+            return
+
+        if target is None:
+            self.sim.call_soon(lambda: self._step(None, None))
+        elif isinstance(target, Future) or hasattr(target, "add_callback"):
+            # duck-typed awaitables (e.g. repro.mpi.requests.Request) are
+            # accepted as long as they follow the Future callback protocol
+            target.add_callback(self._resume_from)
+        else:
+            self.sim.call_soon(
+                lambda: self._step(
+                    None,
+                    TypeError(
+                        f"process {self.label!r} yielded "
+                        f"{type(target).__name__}; expected Future or None"
+                    ),
+                )
+            )
+
+    def _resume_from(self, fut: Future) -> None:
+        if fut.failed:
+            self._step(None, fut.exception)
+        else:
+            self._step(fut._value, None)
+
+
+class Simulator:
+    """Deterministic event loop with a floating-point clock."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._seq = 0
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._events_processed = 0
+
+    # -- clock ------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    # -- scheduling primitives ---------------------------------------------
+    def call_at(self, when: float, fn: Callable[[], None]) -> None:
+        """Schedule a callback at an absolute simulated time."""
+        if when < self._now - 1e-18:
+            raise SimulationError(
+                f"cannot schedule at {when} before current time {self._now}"
+            )
+        heapq.heappush(self._queue, (max(when, self._now), self._seq, fn))
+        self._seq += 1
+
+    def call_after(self, delay: float, fn: Callable[[], None]) -> None:
+        """Schedule a callback ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self.call_at(self._now + delay, fn)
+
+    def call_soon(self, fn: Callable[[], None]) -> None:
+        """Schedule a callback at the current time (after queued events)."""
+        self.call_at(self._now, fn)
+
+    # -- futures ------------------------------------------------------------
+    def future(self, label: str = "") -> Future:
+        """Create an unresolved future on this clock."""
+        return Future(self, label=label)
+
+    def timeout(self, delay: float, value: Any = None, label: str = "") -> Future:
+        """A future resolving ``delay`` seconds from now."""
+        fut = Future(self, label=label or f"timeout({delay:g})")
+        self.call_after(delay, lambda: fut.resolve(value))
+        return fut
+
+    def spawn(self, gen: Generator[Any, Any, Any], label: str = "") -> Process:
+        """Start a coroutine; returns the :class:`Process` (itself a future)."""
+        return Process(self, gen, label=label)
+
+    # -- running -------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Execute events until the queue drains or ``until`` is reached.
+
+        Returns the simulated time when execution stopped.
+        """
+        while self._queue:
+            when, _, fn = self._queue[0]
+            if until is not None and when > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._queue)
+            self._now = when
+            self._events_processed += 1
+            fn()
+        return self._now
+
+    def run_until_complete(self, proc: Future, limit: float = 1e9) -> Any:
+        """Run until ``proc`` resolves; raise if the queue drains first."""
+        self.run(until=None if limit is None else self._now + limit)
+        if not proc.done:
+            raise SimulationError(
+                f"deadlock: {proc.label!r} never completed "
+                f"(queue empty at t={self._now:g})"
+            )
+        return proc.value
+
+
+def all_of(sim: Simulator, futures: Iterable[Future], label: str = "") -> Future:
+    """A future resolving with the list of all values once every input resolves.
+
+    Fails as soon as any input fails.
+    """
+    futures = list(futures)
+    result = Future(sim, label=label or f"all_of[{len(futures)}]")
+    if not futures:
+        result.resolve([])
+        return result
+    remaining = [len(futures)]
+    values: list[Any] = [None] * len(futures)
+
+    def make_cb(i: int) -> Callable[[Future], None]:
+        def cb(fut: Future) -> None:
+            if result.done:
+                return
+            if fut.failed:
+                result.fail(fut.exception)
+                return
+            values[i] = fut._value
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                result.resolve(values)
+
+        return cb
+
+    for i, fut in enumerate(futures):
+        fut.add_callback(make_cb(i))
+    return result
+
+
+def any_of(sim: Simulator, futures: Iterable[Future], label: str = "") -> Future:
+    """A future resolving with ``(index, value)`` of the first input to resolve."""
+    futures = list(futures)
+    if not futures:
+        raise ValueError("any_of needs at least one future")
+    result = Future(sim, label=label or f"any_of[{len(futures)}]")
+
+    def make_cb(i: int) -> Callable[[Future], None]:
+        def cb(fut: Future) -> None:
+            if result.done:
+                return
+            if fut.failed:
+                result.fail(fut.exception)
+            else:
+                result.resolve((i, fut._value))
+
+        return cb
+
+    for i, fut in enumerate(futures):
+        fut.add_callback(make_cb(i))
+    return result

@@ -1,0 +1,210 @@
+"""Shared simulated resources: FIFO bandwidth links, mailboxes, semaphores.
+
+These are the building blocks the hardware models are assembled from.  A
+:class:`FifoLink` is the canonical model for anything with a (bandwidth,
+latency) pair — a PCIe direction, an InfiniBand port, a DMA engine, a GPU
+copy queue.  Transfers issued on a link serialize in issue order (store and
+forward), so a link's throughput can never exceed its bandwidth — a property
+the test suite checks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+from repro.sim.core import Future, SimulationError, Simulator
+from repro.sim.trace import Tracer
+
+__all__ = ["FifoLink", "Resource", "Semaphore", "Mailbox"]
+
+
+class FifoLink:
+    """A serialized bandwidth/latency pipe.
+
+    ``transfer(nbytes)`` occupies the link for ``nbytes / bandwidth``
+    seconds starting no earlier than the previous transfer's completion,
+    then delivers (resolves the returned future) ``latency`` seconds later.
+    Latency therefore pipelines — back-to-back transfers pay it once each
+    but it overlaps with the next transfer's occupancy, as on real links.
+
+    A per-operation fixed ``overhead`` (e.g. the cost of a ``cudaMemcpy``
+    call or a DMA descriptor) is charged as occupancy before the bytes.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        bandwidth: float,
+        latency: float = 0.0,
+        overhead: float = 0.0,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        if bandwidth <= 0:
+            raise ValueError(f"link {name!r}: bandwidth must be positive")
+        if latency < 0 or overhead < 0:
+            raise ValueError(f"link {name!r}: negative latency/overhead")
+        self.sim = sim
+        self.name = name
+        self.bandwidth = float(bandwidth)
+        self.latency = float(latency)
+        self.overhead = float(overhead)
+        self.tracer = tracer
+        self._busy_until = 0.0
+        self.bytes_transferred = 0
+        self.transfers = 0
+
+    def occupancy_time(self, nbytes: int) -> float:
+        """Occupancy (not including delivery latency) for a payload."""
+        return self.overhead + nbytes / self.bandwidth
+
+    def transfer(
+        self,
+        nbytes: int,
+        payload: Any = None,
+        label: str = "",
+        extra_overhead: float = 0.0,
+    ) -> Future:
+        """Queue a transfer; the future resolves with ``payload`` at delivery."""
+        if nbytes < 0:
+            raise ValueError(f"link {self.name!r}: negative transfer size")
+        start = max(self.sim.now, self._busy_until)
+        occupy = self.overhead + extra_overhead + nbytes / self.bandwidth
+        end = start + occupy
+        self._busy_until = end
+        arrival = end + self.latency
+        self.bytes_transferred += nbytes
+        self.transfers += 1
+        if self.tracer is not None:
+            self.tracer.record(self.name, start, end, label or "xfer", nbytes)
+        fut = Future(self.sim, label=label or f"{self.name}:{nbytes}B")
+        self.sim.call_at(arrival, lambda: fut.resolve(payload))
+        return fut
+
+    @property
+    def busy_until(self) -> float:
+        return self._busy_until
+
+    def occupy_until(self, t: float, nbytes: int = 0, label: str = "") -> None:
+        """Extend the busy horizon without scheduling a delivery.
+
+        Used when another timeline co-occupies this link — e.g. a
+        zero-copy GPU kernel streaming over PCIe while it computes.
+        """
+        start = max(self.sim.now, self._busy_until)
+        if t > self._busy_until:
+            self._busy_until = t
+        self.bytes_transferred += nbytes
+        if self.tracer is not None and t > start:
+            self.tracer.record(self.name, start, t, label or "co-occupy", nbytes)
+
+
+class Resource:
+    """Counted resource with FIFO acquire semantics (like simpy.Resource)."""
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "resource"):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: deque[Future] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    def acquire(self) -> Future:
+        """Request a slot; resolves immediately if capacity remains."""
+        fut = Future(self.sim, label=f"{self.name}.acquire")
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            fut.resolve(self)
+        else:
+            self._waiters.append(fut)
+        return fut
+
+    def release(self) -> None:
+        """Free a slot, handing it to the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError(f"{self.name}: release without acquire")
+        if self._waiters:
+            fut = self._waiters.popleft()
+            fut.resolve(self)  # hand the slot over; _in_use unchanged
+        else:
+            self._in_use -= 1
+
+
+class Semaphore:
+    """Counting semaphore with FIFO wakeup."""
+
+    def __init__(self, sim: Simulator, value: int = 0, name: str = "sem"):
+        if value < 0:
+            raise ValueError("initial value must be >= 0")
+        self.sim = sim
+        self.name = name
+        self._value = value
+        self._waiters: deque[Future] = deque()
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def acquire(self) -> Future:
+        """P operation: resolves when a token is available."""
+        fut = Future(self.sim, label=f"{self.name}.P")
+        if self._value > 0:
+            self._value -= 1
+            fut.resolve(None)
+        else:
+            self._waiters.append(fut)
+        return fut
+
+    def release(self, n: int = 1) -> None:
+        """V operation: wake waiters FIFO or bank tokens."""
+        for _ in range(n):
+            if self._waiters:
+                self._waiters.popleft().resolve(None)
+            else:
+                self._value += 1
+
+
+class Mailbox:
+    """An unbounded FIFO message queue with blocking ``get``.
+
+    Used for Active Message delivery into protocol coroutines and for
+    rank-to-rank control synchronization in tests.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "mailbox"):
+        self.sim = sim
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[Future] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Enqueue an item, waking the oldest blocked getter."""
+        if self._getters:
+            self._getters.popleft().resolve(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Future:
+        """Future resolving with the next item (FIFO)."""
+        fut = Future(self.sim, label=f"{self.name}.get")
+        if self._items:
+            fut.resolve(self._items.popleft())
+        else:
+            self._getters.append(fut)
+        return fut
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking ``(ok, item)`` pop."""
+        if self._items:
+            return True, self._items.popleft()
+        return False, None

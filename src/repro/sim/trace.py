@@ -1,0 +1,168 @@
+"""Timeline tracing for simulated resources.
+
+A :class:`Tracer` collects ``(resource, start, end, label, nbytes)`` spans.
+Benchmarks use it to report overlap factors (how much of the pack time hid
+under the wire time) and tests use it to assert that pipelining actually
+pipelines — e.g. that with pipelining enabled the sender's pack spans
+overlap the link's transfer spans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+__all__ = ["Span", "Tracer"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One occupancy interval on a named resource."""
+
+    resource: str
+    start: float
+    end: float
+    label: str
+    nbytes: int = 0
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def overlaps(self, other: "Span") -> bool:
+        """True when the two spans share a positive-length interval."""
+        return self.start < other.end and other.start < self.end
+
+
+class Tracer:
+    """Accumulates spans; cheap no-op friendly (pass ``None`` to disable)."""
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+
+    def record(
+        self, resource: str, start: float, end: float, label: str, nbytes: int = 0
+    ) -> None:
+        """Append one occupancy span."""
+        self.spans.append(Span(resource, start, end, label, nbytes))
+
+    def clear(self) -> None:
+        """Drop all recorded spans."""
+        self.spans.clear()
+
+    def for_resource(self, resource: str) -> list[Span]:
+        """All spans recorded for one resource name."""
+        return [s for s in self.spans if s.resource == resource]
+
+    def resources(self) -> list[str]:
+        """Resource names in first-seen order."""
+        seen: dict[str, None] = {}
+        for s in self.spans:
+            seen.setdefault(s.resource, None)
+        return list(seen)
+
+    def busy_time(self, resource: str) -> float:
+        """Union length of the resource's spans (overlaps merged)."""
+        return union_length((s.start, s.end) for s in self.for_resource(resource))
+
+    def overlap_time(self, resource_a: str, resource_b: str) -> float:
+        """Total time during which both resources were simultaneously busy."""
+        a = merge_intervals((s.start, s.end) for s in self.for_resource(resource_a))
+        b = merge_intervals((s.start, s.end) for s in self.for_resource(resource_b))
+        return _intersection_length(a, b)
+
+    def makespan(self) -> float:
+        """End-to-end extent of the whole trace."""
+        if not self.spans:
+            return 0.0
+        return max(s.end for s in self.spans) - min(s.start for s in self.spans)
+
+
+def merge_intervals(
+    intervals: Iterable[tuple[float, float]]
+) -> list[tuple[float, float]]:
+    """Sort and merge overlapping/adjacent intervals."""
+    ivs = sorted(intervals)
+    merged: list[tuple[float, float]] = []
+    for lo, hi in ivs:
+        if merged and lo <= merged[-1][1]:
+            prev_lo, prev_hi = merged[-1]
+            merged[-1] = (prev_lo, max(prev_hi, hi))
+        else:
+            merged.append((lo, hi))
+    return merged
+
+
+def union_length(intervals: Iterable[tuple[float, float]]) -> float:
+    """Total length of the union of possibly-overlapping intervals."""
+    return sum(hi - lo for lo, hi in merge_intervals(intervals))
+
+
+def _intersection_length(
+    a: list[tuple[float, float]], b: list[tuple[float, float]]
+) -> float:
+    """Length of the intersection of two merged interval lists."""
+    total = 0.0
+    i = j = 0
+    while i < len(a) and j < len(b):
+        lo = max(a[i][0], b[j][0])
+        hi = min(a[i][1], b[j][1])
+        if hi > lo:
+            total += hi - lo
+        if a[i][1] < b[j][1]:
+            i += 1
+        else:
+            j += 1
+    return total
+
+
+def _iter_pairs(spans: list[Span]) -> Iterator[tuple[Span, Span]]:
+    for i, s in enumerate(spans):
+        for t in spans[i + 1 :]:
+            yield s, t
+
+
+def to_chrome_trace(tracer: Tracer) -> list[dict]:
+    """Convert spans to Chrome trace-event JSON (``chrome://tracing``).
+
+    Each resource becomes a thread; spans become complete ('X') events
+    with microsecond timestamps.  Load the saved file in Chrome's tracer
+    or Perfetto to see exactly how a protocol pipelined.
+    """
+    tids = {name: i for i, name in enumerate(tracer.resources())}
+    events: list[dict] = [
+        {
+            "name": name,
+            "ph": "M",
+            "pid": 0,
+            "tid": tid,
+            "args": {"name": name},
+            "cat": "__metadata",
+        }
+        for name, tid in tids.items()
+    ]
+    # thread_name metadata uses a dedicated event name
+    for ev in events:
+        ev["name"] = "thread_name"
+    for s in tracer.spans:
+        events.append(
+            {
+                "name": s.label,
+                "cat": "sim",
+                "ph": "X",
+                "pid": 0,
+                "tid": tids[s.resource],
+                "ts": s.start * 1e6,
+                "dur": s.duration * 1e6,
+                "args": {"bytes": s.nbytes},
+            }
+        )
+    return events
+
+
+def save_chrome_trace(tracer: Tracer, path: str) -> None:
+    """Write a ``chrome://tracing``-loadable JSON file."""
+    import json
+
+    with open(path, "w") as f:
+        json.dump({"traceEvents": to_chrome_trace(tracer)}, f)

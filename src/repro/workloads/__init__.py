@@ -1,0 +1,32 @@
+"""Workload datatypes and data generators used across the evaluation.
+
+These are the memory layouts the paper's evaluation is built on
+(Section 5): ScaLAPACK-style sub-matrices (vector), lower-triangular
+matrices (indexed), the stair-triangular occupancy probe (Fig 5), the
+matrix-transpose stress type (Fig 12), SHOC-style 2-D stencil halos and
+LAMMPS-style particle index lists (Section 3's motivation).
+"""
+
+from repro.workloads.matrices import (
+    MatrixWorkload,
+    lower_triangular_type,
+    stair_triangular_type,
+    submatrix_type,
+    transpose_type,
+    triangular_mask,
+)
+from repro.workloads.stencil import StencilHalo, stencil_halo_types
+from repro.workloads.particles import particle_index_type, random_particle_indices
+
+__all__ = [
+    "MatrixWorkload",
+    "submatrix_type",
+    "lower_triangular_type",
+    "stair_triangular_type",
+    "transpose_type",
+    "triangular_mask",
+    "StencilHalo",
+    "stencil_halo_types",
+    "particle_index_type",
+    "random_particle_indices",
+]

@@ -1,0 +1,134 @@
+"""Dense-linear-algebra datatypes (Section 5.1's V and T workloads).
+
+All matrices are **column-major** doubles, as in ScaLAPACK and the paper:
+
+* ``submatrix_type`` — an ``N x N`` sub-matrix of a ``ld x ld`` matrix:
+  each column is contiguous, columns are ``ld`` elements apart — a
+  classic ``MPI_Type_vector`` (the ``V`` curves);
+* ``lower_triangular_type`` — column ``c`` holds ``N - c`` elements
+  starting on the diagonal — an ``MPI_Type_indexed`` (the ``T`` curves);
+* ``stair_triangular_type`` — the triangular matrix rounded out to
+  ``nb``-element stairs (Fig 5), which removes the kernel-occupancy
+  penalty when ``nb`` is a multiple of the CUDA block size;
+* ``transpose_type`` — the receive type that scatters a packed matrix as
+  its transpose: N vectors of blocklength 1 (Section 5.2.3's stress test).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datatype.ddt import Datatype, contiguous, indexed, resized, vector
+from repro.datatype.primitives import DOUBLE, Primitive
+
+__all__ = [
+    "submatrix_type",
+    "lower_triangular_type",
+    "stair_triangular_type",
+    "transpose_type",
+    "triangular_mask",
+    "stair_mask",
+    "MatrixWorkload",
+]
+
+
+def submatrix_type(n: int, ld: int | None = None, base: Primitive = DOUBLE) -> Datatype:
+    """``n x n`` sub-matrix of a column-major ``ld x ld`` matrix."""
+    ld = 2 * n if ld is None else ld
+    if ld < n:
+        raise ValueError("leading dimension smaller than the sub-matrix")
+    return vector(n, n, ld, base).commit()
+
+
+def lower_triangular_type(
+    n: int, ld: int | None = None, base: Primitive = DOUBLE
+) -> Datatype:
+    """Lower-triangular part of a column-major ``ld x ld`` matrix."""
+    ld = n if ld is None else ld
+    if ld < n:
+        raise ValueError("leading dimension smaller than the matrix")
+    blocklengths = [n - c for c in range(n)]
+    displacements = [c * ld + c for c in range(n)]
+    return indexed(blocklengths, displacements, base).commit()
+
+
+def stair_triangular_type(
+    n: int, nb: int, ld: int | None = None, base: Primitive = DOUBLE
+) -> Datatype:
+    """Stair-shaped triangular matrix (Fig 5).
+
+    Column ``c``'s block starts at row ``(c // nb) * nb`` — so every
+    block length is a multiple of ``nb`` (for ``nb | n``), and with
+    ``nb`` a multiple of the CUDA block size "no CUDA thread is idle".
+    """
+    ld = n if ld is None else ld
+    if n % nb:
+        raise ValueError("n must be a multiple of the stair size nb")
+    blocklengths = [n - (c // nb) * nb for c in range(n)]
+    displacements = [c * ld + (c // nb) * nb for c in range(n)]
+    return indexed(blocklengths, displacements, base).commit()
+
+
+def transpose_type(n: int, base: Primitive = DOUBLE) -> Datatype:
+    """Receive type that lays a packed ``n x n`` matrix out transposed.
+
+    One column of the transposed matrix is a vector of ``n`` single
+    elements strided ``n`` apart; resizing it to one element's extent and
+    repeating it ``n`` times walks the columns — "the whole transposed
+    matrix is a collection of N vector types" (Section 5.2.3).
+    """
+    col = vector(n, 1, n, base)
+    return contiguous(n, resized(col, 0, base.size)).commit()
+
+
+def triangular_mask(n: int, ld: int) -> np.ndarray:
+    """Boolean byte mask (column-major, doubles) of the triangular layout."""
+    mask = np.zeros(ld * ld, dtype=bool)
+    for c in range(n):
+        mask[c * ld + c : c * ld + n] = True
+    return mask
+
+
+def stair_mask(n: int, nb: int, ld: int) -> np.ndarray:
+    """Boolean byte mask of the stair-triangular layout."""
+    mask = np.zeros(ld * ld, dtype=bool)
+    for c in range(n):
+        start = (c // nb) * nb
+        mask[c * ld + start : c * ld + n] = True
+    return mask
+
+
+@dataclass(frozen=True)
+class MatrixWorkload:
+    """A named datatype + the element count of its payload."""
+
+    name: str
+    datatype: Datatype
+    ld: int  # leading dimension in elements of the underlying matrix
+
+    @property
+    def payload_bytes(self) -> int:
+        return self.datatype.size
+
+    @property
+    def footprint_bytes(self) -> int:
+        return self.ld * self.ld * 8
+
+    @staticmethod
+    def submatrix(n: int, ld: int | None = None) -> "MatrixWorkload":
+        ld = 2 * n if ld is None else ld
+        return MatrixWorkload("V", submatrix_type(n, ld), ld)
+
+    @staticmethod
+    def triangular(n: int) -> "MatrixWorkload":
+        return MatrixWorkload("T", lower_triangular_type(n), n)
+
+    @staticmethod
+    def stair(n: int, nb: int) -> "MatrixWorkload":
+        return MatrixWorkload("T-stair", stair_triangular_type(n, nb), n)
+
+    @staticmethod
+    def contiguous_matrix(n: int) -> "MatrixWorkload":
+        return MatrixWorkload("C", contiguous(n * n, DOUBLE).commit(), n)

@@ -1,0 +1,43 @@
+"""LAMMPS-style particle exchange datatypes.
+
+"In the LAMMPS application from the molecular dynamics domain, each
+process keeps an array of indices of local particles that need to be
+communicated; such an access pattern can be captured by an indexed type"
+(Section 3).  Particles are fixed-size records; the exchange set is an
+``indexed_block`` over the particle array.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datatype.ddt import Datatype, contiguous, indexed_block
+from repro.datatype.primitives import DOUBLE, Primitive
+
+__all__ = ["particle_record_type", "particle_index_type", "random_particle_indices"]
+
+#: a particle: position (3 doubles) + velocity (3 doubles) + 2 scalar fields
+PARTICLE_FIELDS = 8
+
+
+def particle_record_type(base: Primitive = DOUBLE) -> Datatype:
+    """One particle record (8 doubles)."""
+    return contiguous(PARTICLE_FIELDS, base).commit()
+
+
+def particle_index_type(
+    indices: np.ndarray, base: Primitive = DOUBLE
+) -> Datatype:
+    """The exchange set: the records at ``indices`` in the particle array."""
+    record = particle_record_type(base)
+    return indexed_block(1, [int(i) for i in indices], record).commit()
+
+
+def random_particle_indices(
+    n_local: int, n_send: int, seed: int = 1234
+) -> np.ndarray:
+    """A sorted random subset of local particle slots (boundary particles)."""
+    if n_send > n_local:
+        raise ValueError("cannot send more particles than exist")
+    rng = np.random.default_rng(seed)
+    return np.sort(rng.choice(n_local, size=n_send, replace=False))

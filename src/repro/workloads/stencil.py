@@ -1,0 +1,60 @@
+"""SHOC-style 2-D stencil halo exchange datatypes.
+
+"In the 2D stencil application of the Scalable HeterOgeneous Computing
+benchmark (SHOC), two of the four boundaries are contiguous, and the
+other two are non-contiguous, which can be defined by a vector type"
+(Section 3).  For a row-major ``rows x cols`` grid with a halo of width
+``h``: the north/south halos are contiguous row bands, the east/west
+halos are column bands described by a vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datatype.ddt import Datatype, contiguous, vector
+from repro.datatype.primitives import DOUBLE, Primitive
+
+__all__ = ["StencilHalo", "stencil_halo_types"]
+
+
+@dataclass(frozen=True)
+class StencilHalo:
+    """The four boundary datatypes of one grid tile (row-major)."""
+
+    rows: int
+    cols: int
+    halo: int
+    north: Datatype  # contiguous rows at the top
+    south: Datatype  # contiguous rows at the bottom
+    west: Datatype  # vector: column band at the left
+    east: Datatype  # vector: column band at the right
+
+    def offsets(self) -> dict[str, int]:
+        """Byte offset of each boundary's first element in the tile."""
+        itemsize = 8
+        return {
+            "north": 0,
+            "south": (self.rows - self.halo) * self.cols * itemsize,
+            "west": 0,
+            "east": (self.cols - self.halo) * itemsize,
+        }
+
+
+def stencil_halo_types(
+    rows: int, cols: int, halo: int = 1, base: Primitive = DOUBLE
+) -> StencilHalo:
+    """Build the four halo datatypes for a row-major tile."""
+    if halo <= 0 or rows < 2 * halo or cols < 2 * halo:
+        raise ValueError("halo too large for the tile")
+    band = contiguous(halo * cols, base).commit()
+    col_band = vector(rows, halo, cols, base).commit()
+    return StencilHalo(
+        rows=rows,
+        cols=cols,
+        halo=halo,
+        north=band,
+        south=band,
+        west=col_band,
+        east=col_band,
+    )

@@ -1,0 +1,121 @@
+"""Tests for the MVAPICH-style vectorization baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.mvapich import MvapichLikeTransfer, vectorize_spans
+from repro.datatype.convertor import pack_bytes
+from repro.datatype.ddt import contiguous
+from repro.datatype.primitives import DOUBLE
+from repro.hw.node import Cluster
+from repro.mpi.config import MpiConfig
+from repro.mpi.proc import MpiProcess
+from repro.workloads.matrices import (
+    lower_triangular_type,
+    submatrix_type,
+    transpose_type,
+)
+
+
+class TestVectorize:
+    def test_vector_becomes_one_run(self):
+        dt = submatrix_type(64, 128)
+        runs = vectorize_spans(dt.spans)
+        assert len(runs) == 1
+        assert runs[0].count == 64 and runs[0].blocklength == 512
+
+    def test_triangular_one_run_per_column(self):
+        dt = lower_triangular_type(32)
+        runs = vectorize_spans(dt.spans)
+        assert len(runs) == 32  # the paper's complaint
+
+    def test_transpose_one_run_per_column(self):
+        dt = transpose_type(16)
+        runs = vectorize_spans(dt.spans)
+        assert len(runs) == 16
+        assert all(r.blocklength == 8 and r.count == 16 for r in runs)
+
+    def test_contiguous_single_run(self):
+        dt = contiguous(100, DOUBLE).commit()
+        runs = vectorize_spans(dt.spans)
+        assert len(runs) == 1 and runs[0].count == 1
+
+    def test_empty(self):
+        from repro.datatype.typemap import Spans
+
+        assert vectorize_spans(Spans.empty()) == []
+
+    def test_runs_cover_all_bytes(self):
+        dt = lower_triangular_type(20)
+        runs = vectorize_spans(dt.spans)
+        assert sum(r.nbytes for r in runs) == dt.size
+
+
+def _procs(kind: str):
+    if kind == "sm":
+        c = Cluster(1, 2)
+        p0 = MpiProcess(0, c.nodes[0], c.nodes[0].gpus[0], MpiConfig())
+        p1 = MpiProcess(1, c.nodes[0], c.nodes[0].gpus[1], MpiConfig())
+    else:
+        c = Cluster(2, 1)
+        p0 = MpiProcess(0, c.nodes[0], c.nodes[0].gpus[0], MpiConfig())
+        p1 = MpiProcess(1, c.nodes[1], c.nodes[1].gpus[0], MpiConfig())
+    return c, p0, p1
+
+
+class TestTransfer:
+    @pytest.mark.parametrize("kind", ["sm", "ib"])
+    def test_vector_transfer_correct(self, kind, rng):
+        c, p0, p1 = _procs(kind)
+        dt = submatrix_type(48, 96)
+        b0 = p0.ctx.malloc(dt.extent)
+        b0.write(rng.random(dt.extent // 8))
+        b1 = p1.ctx.malloc(dt.extent)
+        xfer = MvapichLikeTransfer(p0, p1)
+        c.sim.run_until_complete(
+            c.sim.spawn(xfer.transfer(b0, dt, 1, b1, dt, 1))
+        )
+        assert np.array_equal(
+            pack_bytes(dt, 1, b1.bytes), pack_bytes(dt, 1, b0.bytes)
+        )
+
+    def test_indexed_much_slower_than_vector(self, rng):
+        c, p0, p1 = _procs("sm")
+        V = submatrix_type(128, 256)
+        T = lower_triangular_type(181)  # ~same payload as V
+        bV0 = p0.ctx.malloc(V.extent)
+        bV1 = p1.ctx.malloc(V.extent)
+        bT0 = p0.ctx.malloc(T.extent)
+        bT1 = p1.ctx.malloc(T.extent)
+        xfer = MvapichLikeTransfer(p0, p1)
+        t0 = c.sim.now
+        c.sim.run_until_complete(c.sim.spawn(xfer.transfer(bV0, V, 1, bV1, V, 1)))
+        t_v = c.sim.now - t0
+        t0 = c.sim.now
+        c.sim.run_until_complete(c.sim.spawn(xfer.transfer(bT0, T, 1, bT1, T, 1)))
+        t_t = c.sim.now - t0
+        assert t_t > 3 * t_v  # per-column cudaMemcpy2D calls dominate
+
+    def test_host_only_rank_rejected(self):
+        c = Cluster(1, 1)
+        p0 = MpiProcess(0, c.nodes[0], c.nodes[0].gpus[0], MpiConfig())
+        p1 = MpiProcess(1, c.nodes[0], None, MpiConfig())
+        with pytest.raises(ValueError):
+            MvapichLikeTransfer(p0, p1)
+
+    def test_reshape_transfer(self, rng):
+        # contiguous sender, transpose receiver (the Fig 12 shape)
+        c, p0, p1 = _procs("ib")
+        n = 24
+        C = contiguous(n * n, DOUBLE).commit()
+        TR = transpose_type(n)
+        b0 = p0.ctx.malloc(n * n * 8)
+        b0.write(rng.random(n * n))
+        b1 = p1.ctx.malloc(n * n * 8)
+        xfer = MvapichLikeTransfer(p0, p1)
+        c.sim.run_until_complete(c.sim.spawn(xfer.transfer(b0, C, 1, b1, TR, 1)))
+        a = b0.view("f8").reshape(n, n)
+        b = b1.view("f8").reshape(n, n)
+        assert np.array_equal(b, a.T)

@@ -1,0 +1,104 @@
+"""Tests for the Fig 1 staging baselines (correctness + cost ordering)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.staging import (
+    per_block_d2d_transfer,
+    per_block_d2h_pack,
+    whole_region_pack,
+)
+from repro.datatype.convertor import pack_bytes
+from repro.hw.node import Cluster
+from repro.mpi.proc import MpiProcess
+from repro.mpi.config import MpiConfig
+from repro.workloads.matrices import lower_triangular_type, submatrix_type
+
+
+@pytest.fixture
+def proc(cluster):
+    return MpiProcess(0, cluster.nodes[0], cluster.nodes[0].gpus[0], MpiConfig())
+
+
+def run(cluster, coro):
+    return cluster.sim.run_until_complete(cluster.sim.spawn(coro))
+
+
+class TestWholeRegionPack:
+    def test_packs_correctly(self, cluster, proc, rng):
+        dt = lower_triangular_type(64)
+        src = proc.ctx.malloc(dt.extent)
+        src.write(rng.random(dt.extent // 8))
+        out = proc.node.host_memory.alloc(dt.size)
+        region = run(cluster, whole_region_pack(proc, dt, 1, src, out))
+        assert np.array_equal(out.bytes, pack_bytes(dt, 1, src.bytes))
+        # it reports the wasted bounce-buffer footprint (the whole extent)
+        assert region >= dt.size
+
+    def test_wastes_pcie_on_sparse_layouts(self, cluster, proc, rng):
+        # 1/16 density: the region copy moves 16x the payload
+        dt = submatrix_type(16, 256)
+        src = proc.ctx.malloc(dt.extent)
+        out = proc.node.host_memory.alloc(dt.size)
+        before = proc.gpu.d2h_link.bytes_transferred
+        run(cluster, whole_region_pack(proc, dt, 1, src, out))
+        moved = proc.gpu.d2h_link.bytes_transferred - before
+        assert moved > 10 * dt.size
+
+
+class TestPerBlockD2H:
+    def test_packs_correctly(self, cluster, proc, rng):
+        dt = lower_triangular_type(48)
+        src = proc.ctx.malloc(dt.extent)
+        src.write(rng.random(dt.extent // 8))
+        out = proc.node.host_memory.alloc(dt.size)
+        n_blocks = run(cluster, per_block_d2h_pack(proc, dt, 1, src, out))
+        assert n_blocks == 48
+        assert np.array_equal(out.bytes, pack_bytes(dt, 1, src.bytes))
+
+    def test_cost_scales_with_block_count(self, cluster, proc):
+        # same payload, 4x the blocks => much slower
+        few = submatrix_type(64, 128)  # 64 blocks of 512B
+        many_bls = [8] * 512
+        from repro.datatype.ddt import indexed
+
+        many = indexed(many_bls, [i * 16 for i in range(512)], __import__(
+            "repro.datatype.primitives", fromlist=["DOUBLE"]).DOUBLE).commit()
+        src = proc.ctx.malloc(max(few.extent, many.extent))
+        out = proc.node.host_memory.alloc(max(few.size, many.size))
+        t0 = cluster.sim.now
+        run(cluster, per_block_d2h_pack(proc, few, 1, src, out))
+        t_few = cluster.sim.now - t0
+        t0 = cluster.sim.now
+        run(cluster, per_block_d2h_pack(proc, many, 1, src, out))
+        t_many = cluster.sim.now - t0
+        # similar bytes (256KiB vs 32KiB) but 8x blocks: call-bound
+        assert t_many > t_few * 2
+
+
+class TestPerBlockD2D:
+    def test_same_gpu_identity_layout(self, cluster, proc, rng):
+        dt = lower_triangular_type(48)
+        src = proc.ctx.malloc(dt.extent)
+        src.write(rng.random(dt.extent // 8))
+        dst = proc.ctx.malloc(dt.extent)
+        run(cluster, per_block_d2d_transfer(proc, dt, 1, src, dst))
+        assert np.array_equal(
+            pack_bytes(dt, 1, dst.bytes), pack_bytes(dt, 1, src.bytes)
+        )
+
+    def test_cross_gpu(self, cluster, proc, rng):
+        dt = lower_triangular_type(32)
+        g1 = cluster.nodes[0].gpus[1]
+        src = proc.ctx.malloc(dt.extent)
+        src.write(rng.random(dt.extent // 8))
+        dst = g1.memory.alloc(dt.extent)
+        run(
+            cluster,
+            per_block_d2d_transfer(proc, dt, 1, src, dst, peer_gpu=g1),
+        )
+        assert np.array_equal(
+            pack_bytes(dt, 1, dst.bytes), pack_bytes(dt, 1, src.bytes)
+        )

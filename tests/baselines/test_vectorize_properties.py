@@ -1,0 +1,66 @@
+"""Property tests for the MVAPICH vectorization algorithm."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.mvapich import VectorRun, vectorize_spans
+from repro.datatype.typemap import Spans
+from tests.datatype.strategies import datatypes
+
+
+def expand(runs: list[VectorRun]) -> list[tuple[int, int]]:
+    """Flatten runs back into (disp, len) blocks in pack order."""
+    blocks = []
+    for r in runs:
+        for i in range(r.count):
+            blocks.append((r.first_disp + i * r.stride, r.blocklength))
+    return blocks
+
+
+class TestVectorizeProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(dt=datatypes())
+    def test_runs_reproduce_spans_exactly(self, dt):
+        """Vectorization is a lossless re-encoding of the typemap."""
+        spans = dt.spans
+        runs = vectorize_spans(spans)
+        got = expand(runs)
+        want = list(spans.iter_pairs())
+        assert got == want
+
+    @settings(max_examples=80, deadline=None)
+    @given(dt=datatypes())
+    def test_total_bytes_preserved(self, dt):
+        runs = vectorize_spans(dt.spans)
+        assert sum(r.nbytes for r in runs) == dt.size
+
+    @settings(max_examples=50, deadline=None)
+    @given(dt=datatypes())
+    def test_runs_are_legal_pitches(self, dt):
+        """Multi-block runs never overlap themselves (cudaMemcpy2D-legal)."""
+        for r in vectorize_spans(dt.spans):
+            if r.count > 1:
+                assert abs(r.stride) >= r.blocklength
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        count=st.integers(1, 50),
+        bl=st.integers(1, 64),
+        gap=st.integers(0, 64),
+    )
+    def test_uniform_vectors_fuse_to_one_run(self, count, bl, gap):
+        stride = bl + gap
+        disps = np.arange(count, dtype=np.int64) * stride
+        lens = np.full(count, bl, dtype=np.int64)
+        spans = Spans(disps, lens)
+        runs = vectorize_spans(spans)
+        if gap == 0:
+            # adjacent blocks: still a valid encoding covering all bytes
+            assert sum(r.nbytes for r in runs) == count * bl
+        else:
+            assert len(runs) == 1
+            assert runs[0].count == count

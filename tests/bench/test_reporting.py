@@ -1,0 +1,54 @@
+"""Tests for the benchmark reporting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import Series, Table, fmt_bw, fmt_bytes, fmt_time
+
+
+class TestFormatters:
+    def test_fmt_time_units(self):
+        assert fmt_time(1.5e-6) == "1.5us"
+        assert fmt_time(2.5e-3) == "2.50ms"
+        assert fmt_time(1.25) == "1.250s"
+
+    def test_fmt_bytes(self):
+        assert fmt_bytes(512) == "512B"
+        assert fmt_bytes(2048) == "2.0KiB"
+        assert fmt_bytes(3 * 1024 * 1024) == "3.0MiB"
+
+    def test_fmt_bw(self):
+        assert fmt_bw(6.8e9) == "6.80GB/s"
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table("demo", ["a", "bb"])
+        t.add("x", 1)
+        t.add("longer", 2)
+        out = t.render()
+        lines = out.splitlines()
+        assert lines[0] == "== demo =="
+        assert "longer" in out
+
+    def test_wrong_arity_rejected(self):
+        t = Table("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add("only-one")
+
+
+class TestSeries:
+    def test_columns_and_missing_values(self):
+        s = Series("t", "x", ["p", "q"])
+        s.add(1, p=1.0)
+        s.add(2, p=2.0, q=4.0)
+        assert s.column("q") == [None, 4.0]
+        table = s.to_table()
+        assert "-" in table.render()
+
+    def test_ratio(self):
+        s = Series("t", "x", ["a", "b"])
+        s.add(1, a=2.0, b=4.0)
+        s.add(2, a=1.0, b=None)
+        assert s.ratio("b", "a") == [2.0, None]

@@ -1,0 +1,34 @@
+"""Shared test fixtures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hw.node import Cluster
+from repro.sim.core import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def cluster() -> Cluster:
+    return Cluster(n_nodes=1, gpus_per_node=2, trace=True)
+
+
+@pytest.fixture
+def two_node_cluster() -> Cluster:
+    return Cluster(n_nodes=2, gpus_per_node=1, trace=True)
+
+
+@pytest.fixture
+def gpu(cluster):
+    return cluster.nodes[0].gpus[0]
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,135 @@
+"""Hypothesis strategies generating random MPI derived datatypes.
+
+Types are built bottom-up over the full constructor algebra, bounded so
+that extent and block counts stay test-sized.  ``reference_pack`` is an
+independent oracle: it packs by walking the typemap spans with plain
+NumPy slicing, against which the stack machine, the gather fast path,
+the GPU engine, and the full protocols are all compared.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.datatype.ddt import (
+    Datatype,
+    contiguous,
+    hindexed,
+    hvector,
+    indexed,
+    resized,
+    struct,
+    vector,
+)
+from repro.datatype.primitives import BYTE, DOUBLE, FLOAT, INT
+
+MAX_EXTENT = 1 << 16
+
+primitives = st.sampled_from([BYTE, INT, FLOAT, DOUBLE])
+
+
+def _bounded(dt: Datatype) -> bool:
+    dt.commit()
+    return 0 < dt.size and dt.extent <= MAX_EXTENT and dt.spans.count <= 2048
+
+
+@st.composite
+def _contiguous(draw, inner):
+    base = draw(inner)
+    count = draw(st.integers(1, 8))
+    return contiguous(count, base)
+
+
+@st.composite
+def _vector(draw, inner):
+    base = draw(inner)
+    count = draw(st.integers(1, 8))
+    bl = draw(st.integers(1, 4))
+    stride = draw(st.integers(bl, bl + 6))
+    return vector(count, bl, stride, base)
+
+
+@st.composite
+def _hvector(draw, inner):
+    base = draw(inner)
+    count = draw(st.integers(1, 6))
+    bl = draw(st.integers(1, 3))
+    # byte stride at least the block footprint, 8-aligned or not
+    min_stride = bl * base.commit().extent
+    stride = draw(st.integers(min_stride, min_stride + 64))
+    return hvector(count, bl, stride, base)
+
+
+@st.composite
+def _indexed(draw, inner):
+    base = draw(inner)
+    n = draw(st.integers(1, 6))
+    bls = draw(st.lists(st.integers(0, 3), min_size=n, max_size=n))
+    # non-overlapping ascending displacements
+    disps = []
+    pos = 0
+    for bl in bls:
+        gap = draw(st.integers(0, 4))
+        disps.append(pos + gap)
+        pos += gap + max(bl, 1)
+    if sum(bls) == 0:
+        bls[0] = 1
+    return indexed(bls, disps, base)
+
+
+@st.composite
+def _struct(draw, inner):
+    n = draw(st.integers(1, 4))
+    types = [draw(inner) for _ in range(n)]
+    bls = draw(st.lists(st.integers(1, 3), min_size=n, max_size=n))
+    disps = []
+    pos = 0
+    for bl, t in zip(bls, types):
+        gap = draw(st.integers(0, 32))
+        disps.append(pos + gap)
+        pos += gap + bl * t.commit().extent
+    return struct(bls, disps, types)
+
+
+@st.composite
+def _resized(draw, inner):
+    base = draw(inner).commit()
+    pad = draw(st.integers(0, 64))
+    return resized(base, base.lb, base.extent + pad)
+
+
+def datatypes(max_depth: int = 3):
+    """Random committed datatypes over the full constructor algebra."""
+    base = primitives.map(lambda p: contiguous(1, p))
+    tree = st.recursive(
+        base,
+        lambda inner: st.one_of(
+            _contiguous(inner),
+            _vector(inner),
+            _hvector(inner),
+            _indexed(inner),
+            _struct(inner),
+            _resized(inner),
+        ),
+        max_leaves=max_depth,
+    )
+    return tree.map(lambda dt: dt.commit()).filter(_bounded)
+
+
+def reference_pack(dt: Datatype, count: int, user: np.ndarray) -> np.ndarray:
+    """Oracle pack: walk typemap spans with plain slicing."""
+    spans = dt.spans_for_count(count)
+    out = np.empty(spans.size, dtype=np.uint8)
+    pos = 0
+    for d, l in spans.iter_pairs():
+        out[pos : pos + l] = user[d : d + l]
+        pos += l
+    return out
+
+
+def buffer_for(dt: Datatype, count: int, rng: np.random.Generator) -> np.ndarray:
+    """A random user buffer big enough for ``count`` elements."""
+    spans = dt.spans_for_count(count)
+    size = max(spans.true_ub, 1)
+    return rng.integers(0, 255, size, dtype=np.uint8)

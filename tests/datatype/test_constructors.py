@@ -1,0 +1,234 @@
+"""Unit tests for every datatype constructor against NumPy references."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datatype.convertor import pack_bytes, unpack_bytes
+from repro.datatype.ddt import (
+    contiguous,
+    hindexed,
+    hvector,
+    indexed,
+    indexed_block,
+    resized,
+    struct,
+    subarray,
+    vector,
+)
+from repro.datatype.primitives import BYTE, CHAR, DOUBLE, FLOAT, INT
+
+
+@pytest.fixture
+def matrix(rng) -> np.ndarray:
+    """8x8 doubles, column-major mental model, flat storage."""
+    return rng.random(64)
+
+
+class TestContiguous:
+    def test_size_extent(self):
+        dt = contiguous(10, DOUBLE).commit()
+        assert dt.size == 80 and dt.extent == 80
+        assert dt.is_contiguous
+
+    def test_pack_identity(self, matrix):
+        dt = contiguous(64, DOUBLE).commit()
+        packed = pack_bytes(dt, 1, matrix.view(np.uint8))
+        assert np.array_equal(packed.view("f8"), matrix)
+
+    def test_nested(self):
+        dt = contiguous(3, contiguous(4, INT)).commit()
+        assert dt.size == 48
+        assert dt.spans.count == 1  # fully coalesced
+
+    def test_zero_count(self):
+        dt = contiguous(0, DOUBLE).commit()
+        assert dt.size == 0 and dt.spans.count == 0
+
+    def test_signature(self):
+        assert contiguous(5, INT).signature == (("MPI_INT", 5),)
+
+
+class TestVector:
+    def test_columns_of_submatrix(self, matrix):
+        # 4x3 sub-matrix of an 8x8, column-major
+        dt = vector(3, 4, 8, DOUBLE).commit()
+        packed = pack_bytes(dt, 1, matrix.view(np.uint8)).view("f8")
+        expect = np.concatenate([matrix[c * 8 : c * 8 + 4] for c in range(3)])
+        assert np.array_equal(packed, expect)
+
+    def test_size_vs_extent(self):
+        dt = vector(3, 4, 8, DOUBLE).commit()
+        assert dt.size == 3 * 4 * 8
+        assert dt.extent == (2 * 8 + 4) * 8
+
+    def test_stride_equal_blocklength_coalesces(self):
+        dt = vector(5, 2, 2, DOUBLE).commit()
+        assert dt.is_contiguous
+        assert dt.spans.count == 1
+
+    def test_as_vector_detection(self):
+        dt = vector(6, 4, 9, DOUBLE).commit()
+        shape = dt.as_vector()
+        assert shape is not None
+        assert (shape.count, shape.blocklength, shape.stride) == (6, 32, 72)
+
+    def test_hvector_byte_stride(self, matrix):
+        dt = hvector(3, 2, 100, DOUBLE).commit()
+        packed = pack_bytes(dt, 1, matrix.view(np.uint8))
+        raw = matrix.view(np.uint8)
+        expect = np.concatenate([raw[i * 100 : i * 100 + 16] for i in range(3)])
+        assert np.array_equal(packed, expect)
+
+
+class TestIndexed:
+    def test_triangular_pattern(self, matrix):
+        bls = [4, 3, 2, 1]
+        disps = [0, 9, 18, 27]
+        dt = indexed(bls, disps, DOUBLE).commit()
+        packed = pack_bytes(dt, 1, matrix.view(np.uint8)).view("f8")
+        expect = np.concatenate(
+            [matrix[d : d + b] for d, b in zip(disps, bls)]
+        )
+        assert np.array_equal(packed, expect)
+
+    def test_zero_blocklengths_skipped(self):
+        dt = indexed([2, 0, 3], [0, 5, 10], INT).commit()
+        assert dt.size == 5 * 4
+        assert dt.spans.count == 2
+
+    def test_indexed_block(self, matrix):
+        dt = indexed_block(2, [0, 10, 20], DOUBLE).commit()
+        packed = pack_bytes(dt, 1, matrix.view(np.uint8)).view("f8")
+        expect = np.concatenate([matrix[d : d + 2] for d in (0, 10, 20)])
+        assert np.array_equal(packed, expect)
+
+    def test_unsorted_displacements_preserve_order(self, matrix):
+        # pack order follows definition order, not memory order: the
+        # first block (8 doubles at byte 32) packs before the second
+        # (8 doubles at byte 0)
+        dt = hindexed([8, 8], [32, 0], DOUBLE).commit()
+        packed = pack_bytes(dt, 1, matrix.view(np.uint8)).view("f8")
+        assert np.array_equal(packed[:8], matrix[4:12])
+        assert np.array_equal(packed[8:16], matrix[0:8])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            indexed([1, 2], [0], DOUBLE)
+
+
+class TestStruct:
+    def test_mixed_primitives(self, rng):
+        buf = np.zeros(128, dtype=np.uint8)
+        buf[:12] = rng.integers(0, 255, 12)
+        buf[64:88] = rng.integers(0, 255, 24)
+        dt = struct([3, 3], [0, 64], [INT, DOUBLE]).commit()
+        packed = pack_bytes(dt, 1, buf)
+        assert np.array_equal(packed[:12], buf[:12])
+        assert np.array_equal(packed[12:], buf[64:88])
+
+    def test_signature_sequences(self):
+        dt = struct([2, 1, 2], [0, 16, 32], [INT, DOUBLE, INT]).commit()
+        assert dt.signature == (
+            ("MPI_INT", 2),
+            ("MPI_DOUBLE", 1),
+            ("MPI_INT", 2),
+        )
+
+    def test_char_granularity(self, rng):
+        dt = struct([3, 5], [0, 7], [CHAR, BYTE]).commit()
+        assert dt.granularity() == 1
+        buf = rng.integers(0, 255, 32, dtype=np.uint8)
+        packed = pack_bytes(dt, 1, buf)
+        assert np.array_equal(packed, np.concatenate([buf[:3], buf[7:12]]))
+
+    def test_derived_members(self, matrix):
+        inner = vector(2, 1, 4, DOUBLE)
+        dt = struct([1], [8], [inner]).commit()
+        packed = pack_bytes(dt, 1, matrix.view(np.uint8)).view("f8")
+        assert np.array_equal(packed, matrix[[1, 5]])
+
+
+class TestSubarray:
+    def test_c_order(self, rng):
+        full = rng.random(6 * 5)
+        dt = subarray([6, 5], [2, 3], [1, 1], DOUBLE, order="C").commit()
+        packed = pack_bytes(dt, 1, full.view(np.uint8)).view("f8")
+        grid = full.reshape(6, 5)
+        assert np.array_equal(packed, grid[1:3, 1:4].reshape(-1))
+
+    def test_f_order(self, rng):
+        full = rng.random(6 * 5)
+        dt = subarray([6, 5], [2, 3], [1, 1], DOUBLE, order="F").commit()
+        packed = pack_bytes(dt, 1, full.view(np.uint8)).view("f8")
+        grid = full.reshape(5, 6).T  # F-order interpretation
+        assert np.array_equal(packed, grid[1:3, 1:4].T.reshape(-1))
+
+    def test_extent_is_full_array(self):
+        dt = subarray([8, 8], [2, 2], [0, 0], DOUBLE).commit()
+        assert dt.extent == 64 * 8
+
+    def test_3d(self, rng):
+        full = rng.random(4 * 4 * 4)
+        dt = subarray([4, 4, 4], [2, 2, 2], [1, 1, 1], DOUBLE, order="C").commit()
+        packed = pack_bytes(dt, 1, full.view(np.uint8)).view("f8")
+        cube = full.reshape(4, 4, 4)
+        assert np.array_equal(packed, cube[1:3, 1:3, 1:3].reshape(-1))
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            subarray([4, 4], [3, 3], [2, 2], DOUBLE)
+
+
+class TestResized:
+    def test_extent_override(self):
+        base = contiguous(2, DOUBLE)
+        dt = resized(base, 0, 100).commit()
+        assert dt.extent == 100 and dt.size == 16
+
+    def test_count_respects_new_extent(self, rng):
+        # one double, resized to a 3-double extent => every 3rd element
+        dt = resized(contiguous(1, DOUBLE), 0, 24).commit()
+        data = rng.random(9)
+        packed = pack_bytes(dt, 3, data.view(np.uint8)).view("f8")
+        assert np.array_equal(packed, data[[0, 3, 6]])
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: vector(5, 3, 7, DOUBLE),
+            lambda: indexed([3, 1, 2], [0, 5, 9], FLOAT),
+            lambda: struct([2, 4], [0, 32], [INT, DOUBLE]),
+            lambda: subarray([8, 8], [3, 3], [2, 2], DOUBLE, order="F"),
+            lambda: hvector(4, 1, 24, INT),
+        ],
+        ids=["vector", "indexed", "struct", "subarray", "hvector"],
+    )
+    def test_pack_unpack_identity(self, make, rng):
+        dt = make().commit()
+        size = dt.spans_for_count(2).true_ub
+        src = rng.integers(0, 255, size, dtype=np.uint8)
+        packed = pack_bytes(dt, 2, src)
+        dst = np.zeros_like(src)
+        unpack_bytes(dt, 2, dst, packed)
+        # every described byte must match; gaps stay zero
+        spans = dt.spans_for_count(2)
+        mask = np.zeros(size, dtype=bool)
+        for d, l in spans.iter_pairs():
+            mask[d : d + l] = True
+        assert np.array_equal(dst[mask], src[mask])
+        assert (dst[~mask] == 0).all()
+
+
+class TestCommitDiscipline:
+    def test_use_before_commit_rejected(self):
+        dt = vector(2, 2, 4, DOUBLE)
+        with pytest.raises(RuntimeError):
+            _ = dt.spans
+
+    def test_commit_idempotent(self):
+        dt = vector(2, 2, 4, DOUBLE).commit()
+        assert dt.commit() is dt

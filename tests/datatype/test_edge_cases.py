@@ -1,0 +1,117 @@
+"""Edge cases across the datatype constructor algebra."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datatype.convertor import Convertor, pack_bytes
+from repro.datatype.ddt import (
+    contiguous,
+    hindexed,
+    hvector,
+    indexed,
+    resized,
+    struct,
+    vector,
+)
+from repro.datatype.primitives import BYTE, CHAR, DOUBLE, FLOAT, INT, SHORT
+
+
+class TestNegativeDisplacements:
+    def test_struct_with_negative_disp(self, rng):
+        dt = struct([1, 1], [-16, 0], [DOUBLE, DOUBLE]).commit()
+        assert dt.lb == -16 and dt.true_lb == -16
+        user = rng.integers(0, 255, 64, dtype=np.uint8)
+        conv = Convertor(dt, 1, user, "pack", base_offset=32)
+        out = np.empty(16, dtype=np.uint8)
+        conv.pack(out)
+        assert np.array_equal(out[:8], user[16:24])
+        assert np.array_equal(out[8:], user[32:40])
+
+    def test_backwards_hindexed(self, rng):
+        dt = hindexed([1, 1, 1], [32, 16, 0], DOUBLE).commit()
+        user = rng.integers(0, 255, 48, dtype=np.uint8)
+        packed = pack_bytes(dt, 1, user)
+        assert np.array_equal(packed[:8], user[32:40])
+        assert np.array_equal(packed[16:], user[0:8])
+
+
+class TestExtents:
+    def test_vector_extent_formula(self):
+        # MPI: extent = ((count-1)*stride + blocklength) * base_extent
+        dt = vector(5, 3, 7, DOUBLE).commit()
+        assert dt.extent == ((5 - 1) * 7 + 3) * 8
+
+    def test_resized_shrink_enables_overlap_tiling(self, rng):
+        # extent smaller than the span: elements interleave (legal for send)
+        base = vector(2, 1, 2, DOUBLE)  # spans at 0 and 16
+        dt = resized(base, 0, 8).commit()
+        user = rng.integers(0, 255, 64, dtype=np.uint8)
+        packed = pack_bytes(dt, 2, user)
+        # element 0: bytes 0-8 and 16-24; element 1 shifted by 8
+        assert np.array_equal(packed[8:16], user[16:24])
+        assert np.array_equal(packed[16:24], user[8:16])
+
+    def test_empty_indexed(self):
+        dt = indexed([0, 0], [0, 4], DOUBLE).commit()
+        assert dt.size == 0
+        assert dt.spans.count == 0
+
+    def test_struct_extent_spans_members(self):
+        dt = struct([1, 1], [0, 100], [INT, CHAR]).commit()
+        assert dt.lb == 0 and dt.ub == 101
+
+
+class TestGranularities:
+    @pytest.mark.parametrize(
+        "prim,expected",
+        [(BYTE, 1), (CHAR, 1), (SHORT, 2), (INT, 4), (FLOAT, 4), (DOUBLE, 8)],
+    )
+    def test_primitive_granularity(self, prim, expected):
+        dt = contiguous(3, prim).commit()
+        # contiguous blocks can raise the granularity above the itemsize
+        assert dt.granularity() % expected == 0 or dt.granularity() >= expected
+
+    def test_mixed_struct_takes_gcd(self):
+        dt = struct([1, 1], [0, 4], [INT, INT]).commit()
+        assert dt.granularity() >= 4
+        odd = struct([1, 1], [0, 5], [INT, BYTE]).commit()
+        assert odd.granularity() == 1
+
+
+class TestLargeCounts:
+    def test_tiling_ten_thousand_elements(self, rng):
+        dt = resized(contiguous(1, DOUBLE), 0, 16).commit()
+        count = 10_000
+        user = rng.integers(0, 255, 16 * count, dtype=np.uint8)
+        packed = pack_bytes(dt, count, user)
+        assert packed.nbytes == 8 * count
+        view = user.view(np.uint64).reshape(count, 2)[:, 0]
+        assert np.array_equal(packed.view(np.uint64), view)
+
+    def test_vector_of_vectors_deep_nesting(self, rng):
+        inner = vector(3, 1, 2, DOUBLE)
+        mid = hvector(2, 1, inner.commit().extent + 8, inner)
+        outer = hvector(2, 1, mid.commit().extent + 16, mid).commit()
+        user = rng.integers(0, 255, outer.extent + 32, dtype=np.uint8)
+        packed = pack_bytes(outer, 1, user)
+        assert packed.nbytes == outer.size == 3 * 2 * 2 * 8
+
+
+class TestMisalignedBytes:
+    def test_char_vector_odd_stride(self, rng):
+        dt = hvector(10, 3, 7, CHAR).commit()
+        user = rng.integers(0, 255, 100, dtype=np.uint8)
+        packed = pack_bytes(dt, 1, user)
+        want = np.concatenate([user[i * 7 : i * 7 + 3] for i in range(10)])
+        assert np.array_equal(packed, want)
+
+    def test_roundtrip_odd_granularity(self, rng):
+        dt = hindexed([3, 5, 2], [0, 11, 29], BYTE).commit()
+        user = rng.integers(0, 255, 64, dtype=np.uint8)
+        packed = pack_bytes(dt, 1, user)
+        out = np.zeros(64, dtype=np.uint8)
+        conv = Convertor(dt, 1, out, "unpack")
+        conv.unpack(packed)
+        assert np.array_equal(pack_bytes(dt, 1, out), packed)

@@ -1,0 +1,99 @@
+"""Tests for the NumPy slice -> datatype bridge."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datatype.numpy_bridge import (
+    byte_mask,
+    datatype_from_slice,
+    described_elements,
+)
+from repro.datatype.primitives import DOUBLE, FLOAT
+
+
+class TestSliceDatatypes:
+    def test_2d_c_order(self, rng):
+        a = rng.random((8, 8))
+        dt = datatype_from_slice(a.shape, np.s_[1:5, 3:7], DOUBLE, order="C")
+        got = described_elements(dt, a)
+        assert np.array_equal(got, a[1:5, 3:7].reshape(-1))
+
+    def test_2d_f_order(self, rng):
+        a = np.asfortranarray(rng.random((8, 8)))
+        dt = datatype_from_slice(a.shape, np.s_[1:5, 3:7], DOUBLE, order="F")
+        got = described_elements(dt, a)
+        assert np.array_equal(got, a[1:5, 3:7].reshape(-1, order="F"))
+
+    def test_int_index_collapses_to_width_one(self, rng):
+        a = rng.random((6, 6))
+        dt = datatype_from_slice(a.shape, np.s_[2, 1:5], DOUBLE, order="C")
+        got = described_elements(dt, a)
+        assert np.array_equal(got, a[2, 1:5])
+
+    def test_partial_key_fills_trailing_dims(self, rng):
+        a = rng.random((4, 5))
+        dt = datatype_from_slice(a.shape, np.s_[1:3], DOUBLE, order="C")
+        got = described_elements(dt, a)
+        assert np.array_equal(got, a[1:3].reshape(-1))
+
+    def test_3d(self, rng):
+        a = rng.random((4, 4, 4)).astype(np.float32)
+        dt = datatype_from_slice(a.shape, np.s_[1:3, :2, 2:], FLOAT, order="C")
+        got = described_elements(dt, a)
+        assert np.array_equal(got, a[1:3, :2, 2:].reshape(-1))
+
+    def test_negative_indices_normalize(self, rng):
+        a = rng.random((6, 6))
+        dt = datatype_from_slice(a.shape, np.s_[-2, :], DOUBLE, order="C")
+        assert np.array_equal(described_elements(dt, a), a[-2])
+
+    def test_strided_rejected(self):
+        with pytest.raises(ValueError, match="step"):
+            datatype_from_slice((8, 8), np.s_[::2, :], DOUBLE)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            datatype_from_slice((8, 8), np.s_[4:4, :], DOUBLE)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(IndexError):
+            datatype_from_slice((8, 8), np.s_[9, :], DOUBLE)
+
+    def test_too_many_indices_rejected(self):
+        with pytest.raises(ValueError):
+            datatype_from_slice((8,), np.s_[1:2, 3:4], DOUBLE)
+
+
+class TestByteMask:
+    def test_mask_size_equals_dt_size(self):
+        dt = datatype_from_slice((8, 8), np.s_[0:4, 0:4], DOUBLE)
+        mask = byte_mask(dt, 8 * 8 * 8)
+        assert mask.sum() == dt.size
+
+    def test_overreach_rejected(self):
+        dt = datatype_from_slice((8, 8), np.s_[:, :], DOUBLE)
+        with pytest.raises(ValueError):
+            byte_mask(dt, 10)
+
+
+class TestPropertySlices:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        rows=st.integers(2, 10),
+        cols=st.integers(2, 10),
+        data=st.randoms(),
+    )
+    def test_random_rectangles_match_numpy(self, rows, cols, data):
+        rng = np.random.default_rng(data.randint(0, 2**31))
+        a = rng.random((rows, cols))
+        r0 = data.randint(0, rows - 1)
+        r1 = data.randint(r0 + 1, rows)
+        c0 = data.randint(0, cols - 1)
+        c1 = data.randint(c0 + 1, cols)
+        dt = datatype_from_slice(a.shape, np.s_[r0:r1, c0:c1], DOUBLE, "C")
+        got = described_elements(dt, a)
+        assert np.array_equal(got, a[r0:r1, c0:c1].reshape(-1))

@@ -1,0 +1,117 @@
+"""Tests for the span algebra (typemap normalization)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datatype.typemap import Spans, coalesce, concat, tile
+
+
+def mk(disps, lens) -> Spans:
+    return Spans(np.array(disps, np.int64), np.array(lens, np.int64))
+
+
+class TestSpans:
+    def test_basic_facts(self):
+        s = mk([0, 16], [8, 8])
+        assert s.count == 2 and s.size == 16
+        assert s.true_lb == 0 and s.true_ub == 24
+
+    def test_packed_offsets(self):
+        s = mk([0, 100, 200], [4, 8, 2])
+        assert s.packed_offsets().tolist() == [0, 4, 12]
+
+    def test_shift(self):
+        assert mk([0, 8], [4, 4]).shift(10).disps.tolist() == [10, 18]
+
+    def test_overlap_detection(self):
+        assert mk([0, 4], [8, 8]).overlaps_self()
+        assert not mk([0, 8], [8, 8]).overlaps_self()
+        assert not mk([8, 0], [4, 4]).overlaps_self()  # order-independent
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mk([0, 1], [1])
+
+
+class TestCoalesce:
+    def test_adjacent_merge(self):
+        s = coalesce(mk([0, 8, 16], [8, 8, 8]))
+        assert s.count == 1 and s.lens.tolist() == [24]
+
+    def test_gap_preserved(self):
+        s = coalesce(mk([0, 9], [8, 8]))
+        assert s.count == 2
+
+    def test_order_dependence(self):
+        # spans adjacent in memory but not consecutive in pack order
+        s = coalesce(mk([8, 0], [8, 8]))
+        assert s.count == 2
+
+    def test_partial_runs(self):
+        s = coalesce(mk([0, 8, 100, 108, 116], [8, 8, 8, 8, 8]))
+        assert s.disps.tolist() == [0, 100]
+        assert s.lens.tolist() == [16, 24]
+
+
+class TestTile:
+    def test_counts_and_offsets(self):
+        s = tile(mk([0], [4]), 3, 16)
+        assert s.disps.tolist() == [0, 16, 32]
+
+    def test_tile_coalesces_contiguous(self):
+        s = tile(mk([0], [16]), 4, 16)
+        assert s.count == 1 and s.size == 64
+
+    def test_zero_count(self):
+        assert tile(mk([0], [4]), 0, 16).count == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            tile(mk([0], [4]), -1, 16)
+
+
+class TestConcat:
+    def test_order_preserved(self):
+        s = concat([mk([100], [4]), mk([0], [4])])
+        assert s.disps.tolist() == [100, 0]
+
+    def test_empty_parts_dropped(self):
+        s = concat([Spans.empty(), mk([0], [4]), Spans.empty()])
+        assert s.count == 1
+
+
+class TestProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        pairs=st.lists(
+            st.tuples(st.integers(0, 1000), st.integers(1, 64)), min_size=1, max_size=50
+        )
+    )
+    def test_coalesce_preserves_bytes_and_order(self, pairs):
+        s = mk([p[0] for p in pairs], [p[1] for p in pairs])
+        c = coalesce(s)
+        assert c.size == s.size
+        # expanding both into per-byte address streams gives identical sequences
+        def stream(sp):
+            return np.concatenate(
+                [np.arange(d, d + l) for d, l in sp.iter_pairs()]
+            )
+        assert np.array_equal(stream(s), stream(c))
+        # no two consecutive output spans are mergeable
+        if c.count > 1:
+            assert (c.disps[1:] != c.disps[:-1] + c.lens[:-1]).all()
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        count=st.integers(1, 10),
+        stride=st.integers(0, 500),
+        disp=st.integers(0, 100),
+        length=st.integers(1, 32),
+    )
+    def test_tile_size_scales(self, count, stride, disp, length):
+        s = tile(mk([disp], [length]), count, stride)
+        assert s.size == count * length

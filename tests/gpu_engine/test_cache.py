@@ -1,0 +1,66 @@
+"""Tests for the CUDA_DEV cache (LRU, GPU-memory charge, eviction)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datatype.ddt import indexed
+from repro.datatype.primitives import DOUBLE
+from repro.gpu_engine.cache import DevCache
+from repro.workloads.matrices import lower_triangular_type
+
+
+def tri(n: int):
+    return lower_triangular_type(n)
+
+
+class TestDevCache:
+    def test_miss_then_hit(self, gpu):
+        cache = DevCache(gpu)
+        dt = tri(64)
+        assert cache.get(dt, 1, 4096) is None
+        units = cache.put(dt, 1, 4096)
+        assert cache.get(dt, 1, 4096) is units
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_distinct_keys(self, gpu):
+        cache = DevCache(gpu)
+        dt = tri(64)
+        cache.put(dt, 1, 4096)
+        assert cache.get(dt, 2, 4096) is None
+        assert cache.get(dt, 1, 1024) is None
+        other = tri(32)
+        assert cache.get(other, 1, 4096) is None
+
+    def test_charges_gpu_memory(self, gpu):
+        cache = DevCache(gpu)
+        before = gpu.memory.bytes_in_use
+        units = cache.put(tri(128), 1, 4096)
+        assert gpu.memory.bytes_in_use >= before + units.descriptor_bytes - 256
+
+    def test_put_idempotent(self, gpu):
+        cache = DevCache(gpu)
+        dt = tri(64)
+        a = cache.put(dt, 1, 4096)
+        before = gpu.memory.bytes_in_use
+        b = cache.put(dt, 1, 4096)
+        assert a is b and gpu.memory.bytes_in_use == before
+
+    def test_lru_eviction_frees_memory(self, gpu):
+        dt_a, dt_b = tri(256), tri(300)
+        need = 0
+        cache = DevCache(gpu, budget_bytes=8 * 1024)
+        cache.put(dt_a, 1, 1024)
+        used_after_a = cache.bytes_cached
+        cache.put(dt_b, 1, 1024)  # should evict A (budget is tiny)
+        assert cache.get(dt_a, 1, 1024) is None or cache.bytes_cached <= 8 * 1024
+        assert len(cache) >= 1
+
+    def test_precomputed_units_accepted(self, gpu):
+        from repro.gpu_engine.dev import to_devs
+        from repro.gpu_engine.work_units import split_units
+
+        dt = tri(64)
+        units = split_units(to_devs(dt, 1), 4096)
+        cache = DevCache(gpu)
+        assert cache.put(dt, 1, 4096, units=units) is units

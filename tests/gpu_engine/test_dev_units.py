@@ -1,0 +1,109 @@
+"""Tests for DEV conversion and CUDA_DEV work-unit splitting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datatype.ddt import indexed, vector
+from repro.datatype.primitives import DOUBLE
+from repro.gpu_engine.dev import DevList, to_devs
+from repro.gpu_engine.work_units import UNIT_DESCRIPTOR_BYTES, WorkUnits, split_units
+from tests.datatype.strategies import datatypes
+
+
+class TestDevConversion:
+    def test_vector_devs(self):
+        dt = vector(4, 2, 5, DOUBLE).commit()
+        devs = to_devs(dt)
+        assert devs.count == 4
+        assert devs.lens.tolist() == [16] * 4
+        assert devs.src_disps.tolist() == [0, 40, 80, 120]
+        assert devs.dst_disps.tolist() == [0, 16, 32, 48]
+
+    def test_dst_is_prefix_sum(self):
+        dt = indexed([3, 1, 2], [0, 4, 8], DOUBLE).commit()
+        devs = to_devs(dt)
+        assert devs.dst_disps.tolist() == [0, 24, 32]
+
+    def test_total_bytes_matches_size(self):
+        dt = indexed([3, 1, 2], [0, 4, 8], DOUBLE).commit()
+        assert to_devs(dt, 3).total_bytes == dt.size * 3
+
+    @settings(max_examples=40, deadline=None)
+    @given(dt=datatypes(), count=st.integers(1, 3))
+    def test_devs_relative_and_ordered(self, dt, count):
+        devs = to_devs(dt, count)
+        assert devs.total_bytes == dt.size * count
+        # the packed stream is gapless: dst[i+1] = dst[i] + len[i]
+        if devs.count > 1:
+            assert (
+                devs.dst_disps[1:] == devs.dst_disps[:-1] + devs.lens[:-1]
+            ).all()
+
+
+class TestUnitSplitting:
+    def test_exact_multiples(self):
+        devs = DevList(
+            np.array([0, 100]), np.array([0, 64]), np.array([64, 32])
+        )
+        units = split_units(devs, 32)
+        assert units.count == 3
+        assert units.lens.tolist() == [32, 32, 32]
+        assert units.src_disps.tolist() == [0, 32, 100]
+
+    def test_residues(self):
+        devs = DevList(np.array([0]), np.array([0]), np.array([100]))
+        units = split_units(devs, 32)
+        assert units.lens.tolist() == [32, 32, 32, 4]
+
+    def test_packed_range(self):
+        devs = DevList(np.array([0]), np.array([0]), np.array([100]))
+        units = split_units(devs, 32)
+        assert units.packed_range(0, 2) == (0, 64)
+        assert units.packed_range(1, 4) == (32, 100)
+
+    def test_slice(self):
+        devs = DevList(np.array([0]), np.array([0]), np.array([100]))
+        units = split_units(devs, 32).slice(1, 3)
+        assert units.lens.tolist() == [32, 32]
+
+    def test_descriptor_bytes(self):
+        devs = DevList(np.array([0]), np.array([0]), np.array([64]))
+        assert split_units(devs, 32).descriptor_bytes == 2 * UNIT_DESCRIPTOR_BYTES
+
+    def test_empty(self):
+        z = np.empty(0, dtype=np.int64)
+        assert split_units(DevList(z, z, z), 1024).count == 0
+
+    def test_bad_unit_size_rejected(self):
+        z = np.empty(0, dtype=np.int64)
+        with pytest.raises(ValueError):
+            split_units(DevList(z, z, z), 0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        lens=st.lists(st.integers(1, 10_000), min_size=1, max_size=60),
+        s=st.sampled_from([256, 1024, 4096]),
+    )
+    def test_split_invariants(self, lens, s):
+        lens_arr = np.array(lens, dtype=np.int64)
+        dst = np.concatenate([[0], np.cumsum(lens_arr)[:-1]])
+        src = dst * 3 + 17  # arbitrary layout
+        devs = DevList(src, dst, lens_arr)
+        units = split_units(devs, s)
+        # covers every byte exactly once
+        assert units.total_bytes == devs.total_bytes
+        assert (units.lens > 0).all() and (units.lens <= s).all()
+        # units tile the packed stream contiguously
+        assert (
+            units.dst_disps[1:] == units.dst_disps[:-1] + units.lens[:-1]
+        ).all()
+        # unit count is what the paper's formula says
+        assert units.count == int((-(-lens_arr // s)).sum())
+        # src offsets advance by S inside each DEV
+        rebuilt = units.src_disps - units.dst_disps
+        dev_of = np.searchsorted(np.cumsum(lens_arr), units.dst_disps, "right")
+        assert (rebuilt == (src - dst)[dev_of]).all()

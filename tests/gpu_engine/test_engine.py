@@ -1,0 +1,211 @@
+"""Tests for the GPU datatype engine driver (PackJob)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cuda.uma import map_host_buffer
+from repro.datatype.convertor import pack_bytes
+from repro.gpu_engine.engine import EngineOptions, GpuDatatypeEngine
+from repro.workloads.matrices import lower_triangular_type, submatrix_type
+from tests.datatype.strategies import datatypes, reference_pack
+
+
+@pytest.fixture
+def engine(cluster):
+    return GpuDatatypeEngine(cluster.nodes[0].gpus[0])
+
+
+def run(cluster, coro):
+    return cluster.sim.run_until_complete(cluster.sim.spawn(coro))
+
+
+class TestPathSelection:
+    def test_vector_type_uses_vector_kernel(self, cluster, engine):
+        dt = submatrix_type(64, 128)
+        src = cluster.nodes[0].gpus[0].memory.alloc(dt.extent)
+        job = engine.pack_job(dt, 1, src)
+        assert job.uses_vector_kernel
+        assert job.units is None
+
+    def test_indexed_type_uses_dev_kernel(self, cluster, engine):
+        dt = lower_triangular_type(64)
+        src = cluster.nodes[0].gpus[0].memory.alloc(dt.extent)
+        job = engine.pack_job(dt, 1, src)
+        assert not job.uses_vector_kernel
+        assert job.units is not None
+
+    def test_force_dev_path(self, cluster, engine):
+        dt = submatrix_type(64, 128)
+        src = cluster.nodes[0].gpus[0].memory.alloc(dt.extent)
+        job = engine.pack_job(dt, 1, src, EngineOptions(force_dev_path=True))
+        assert not job.uses_vector_kernel
+
+
+class TestFragments:
+    def test_fragments_tile_stream(self, cluster, engine):
+        dt = lower_triangular_type(128)
+        src = cluster.nodes[0].gpus[0].memory.alloc(dt.extent)
+        job = engine.pack_job(dt, 1, src)
+        frags = job.fragments(4096)
+        assert frags[0].lo == 0
+        assert frags[-1].hi == job.total_bytes
+        for a, b in zip(frags, frags[1:]):
+            assert a.hi == b.lo
+
+    def test_range_fragment_covers_units(self, cluster, engine):
+        dt = lower_triangular_type(128)
+        src = cluster.nodes[0].gpus[0].memory.alloc(dt.extent)
+        job = engine.pack_job(dt, 1, src)
+        frag = job.range_fragment(0, 8192, 16384)
+        units = job.units
+        lo_b, hi_b = units.packed_range(frag.unit_lo, frag.unit_hi)
+        assert lo_b <= 8192 and hi_b >= 16384
+
+    def test_range_fragment_out_of_bounds_rejected(self, cluster, engine):
+        dt = lower_triangular_type(32)
+        src = cluster.nodes[0].gpus[0].memory.alloc(dt.extent)
+        job = engine.pack_job(dt, 1, src)
+        with pytest.raises(ValueError):
+            job.range_fragment(0, 0, job.total_bytes + 8)
+
+
+class TestCorrectness:
+    def test_pack_all_d2d(self, cluster, engine, rng):
+        dt = lower_triangular_type(96)
+        gpu = cluster.nodes[0].gpus[0]
+        src = gpu.memory.alloc(dt.extent)
+        src.write(rng.random(dt.extent // 8))
+        dst = gpu.memory.alloc(dt.size)
+        job = engine.pack_job(dt, 1, src)
+        run(cluster, job.process_all(dst, frag_bytes=4096))
+        assert np.array_equal(dst.bytes, pack_bytes(dt, 1, src.bytes))
+
+    def test_unpack_restores(self, cluster, engine, rng):
+        dt = lower_triangular_type(96)
+        gpu = cluster.nodes[0].gpus[0]
+        src = gpu.memory.alloc(dt.extent)
+        src.write(rng.random(dt.extent // 8))
+        packed_np = pack_bytes(dt, 1, src.bytes)
+        packed = gpu.memory.alloc(dt.size)
+        packed.bytes[:] = packed_np
+        out = gpu.memory.alloc(dt.extent)
+        job = engine.unpack_job(dt, 1, out)
+        run(cluster, job.process_all(packed, frag_bytes=4096))
+        assert np.array_equal(pack_bytes(dt, 1, out.bytes), packed_np)
+
+    def test_zero_copy_to_mapped_host(self, cluster, engine, rng):
+        dt = submatrix_type(64, 128)
+        gpu = cluster.nodes[0].gpus[0]
+        node = cluster.nodes[0]
+        src = gpu.memory.alloc(dt.extent)
+        src.write(rng.random(dt.extent // 8))
+        host = node.host_memory.alloc(dt.size)
+        map_host_buffer(host, gpu)
+        job = engine.pack_job(dt, 1, src)
+        run(cluster, job.process_all(host, frag_bytes=8192))
+        assert np.array_equal(host.bytes, pack_bytes(dt, 1, src.bytes))
+
+    def test_unmapped_host_target_rejected(self, cluster, engine):
+        dt = submatrix_type(32, 64)
+        gpu = cluster.nodes[0].gpus[0]
+        src = gpu.memory.alloc(dt.extent)
+        host = cluster.nodes[0].host_memory.alloc(dt.size)
+        job = engine.pack_job(dt, 1, src)
+        proc = cluster.sim.spawn(job.process_all(host))
+        cluster.sim.run()
+        assert proc.failed
+
+    def test_pack_into_peer_gpu(self, cluster, engine, rng):
+        dt = submatrix_type(64, 128)
+        g0, g1 = cluster.nodes[0].gpus
+        src = g0.memory.alloc(dt.extent)
+        src.write(rng.random(dt.extent // 8))
+        remote = g1.memory.alloc(dt.size)
+        job = engine.pack_job(dt, 1, src)
+        run(cluster, job.process_all(remote, frag_bytes=8192))
+        assert np.array_equal(remote.bytes, pack_bytes(dt, 1, src.bytes))
+
+    @settings(max_examples=25, deadline=None)
+    @given(dt=datatypes(), data=st.randoms())
+    def test_random_datatypes_match_oracle(self, dt, data):
+        from repro.hw.node import Cluster
+
+        cluster = Cluster(1, 1)
+        gpu = cluster.nodes[0].gpus[0]
+        engine = GpuDatatypeEngine(gpu)
+        rng = np.random.default_rng(data.randint(0, 2**31))
+        size = max(dt.spans.true_ub, 1)
+        src = gpu.memory.alloc(size + 16)
+        src.bytes[:size] = rng.integers(0, 255, size, dtype=np.uint8)
+        dst = gpu.memory.alloc(max(dt.size, 1))
+        job = engine.pack_job(dt, 1, src)
+        run(cluster, job.process_all(dst, frag_bytes=4096))
+        assert np.array_equal(
+            dst.bytes[: dt.size], reference_pack(dt, 1, src.bytes)
+        )
+
+
+class TestTimingBehaviour:
+    def test_cached_job_skips_prep(self, cluster, engine):
+        dt = lower_triangular_type(256)
+        gpu = cluster.nodes[0].gpus[0]
+        src = gpu.memory.alloc(dt.extent)
+        dst = gpu.memory.alloc(dt.size)
+        t0 = cluster.sim.now
+        job = engine.pack_job(dt, 1, src, EngineOptions(use_cache=False))
+        run(cluster, job.process_all(dst))
+        uncached = cluster.sim.now - t0
+        engine.warm_cache(dt, 1)
+        t0 = cluster.sim.now
+        job = engine.pack_job(dt, 1, src, EngineOptions(use_cache=True))
+        run(cluster, job.process_all(dst))
+        cached = cluster.sim.now - t0
+        assert cached < uncached
+
+    def test_pipeline_beats_no_pipeline(self, cluster, engine):
+        dt = lower_triangular_type(2048)
+        gpu = cluster.nodes[0].gpus[0]
+        src = gpu.memory.alloc(dt.extent)
+        dst = gpu.memory.alloc(dt.size)
+        t0 = cluster.sim.now
+        job = engine.pack_job(
+            dt, 1, src, EngineOptions(use_cache=False, pipeline_prep=False)
+        )
+        run(cluster, job.process_all(dst, frag_bytes=2 << 20))
+        plain = cluster.sim.now - t0
+        t0 = cluster.sim.now
+        job = engine.pack_job(
+            dt, 1, src, EngineOptions(use_cache=False, pipeline_prep=True)
+        )
+        run(cluster, job.process_all(dst, frag_bytes=2 << 20))
+        piped = cluster.sim.now - t0
+        assert piped < plain
+
+    def test_more_fragments_more_launches(self, cluster, engine):
+        dt = submatrix_type(512, 1024)
+        gpu = cluster.nodes[0].gpus[0]
+        src = gpu.memory.alloc(dt.extent)
+        dst = gpu.memory.alloc(dt.size)
+        t0 = cluster.sim.now
+        job = engine.pack_job(dt, 1, src)
+        run(cluster, job.process_all(dst))
+        one = cluster.sim.now - t0
+        t0 = cluster.sim.now
+        job = engine.pack_job(dt, 1, src)
+        run(cluster, job.process_all(dst, frag_bytes=64 * 1024))
+        many = cluster.sim.now - t0
+        assert many > one  # launch overhead per fragment
+
+    def test_small_buffer_rejected(self, cluster, engine):
+        dt = submatrix_type(32, 64)
+        gpu = cluster.nodes[0].gpus[0]
+        src = gpu.memory.alloc(dt.extent)
+        small = gpu.memory.alloc(dt.size // 2)
+        job = engine.pack_job(dt, 1, src)
+        proc = cluster.sim.spawn(job.process_all(small))
+        cluster.sim.run()
+        assert proc.failed

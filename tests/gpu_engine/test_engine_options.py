@@ -1,0 +1,114 @@
+"""Engine option coverage: zero-copy unpack, grids, forced DEV path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cuda.uma import map_host_buffer
+from repro.datatype.convertor import pack_bytes
+from repro.gpu_engine.engine import EngineOptions, GpuDatatypeEngine
+from repro.workloads.matrices import lower_triangular_type, submatrix_type
+
+
+@pytest.fixture
+def setup(cluster):
+    gpu = cluster.nodes[0].gpus[0]
+    return cluster, gpu, GpuDatatypeEngine(gpu)
+
+
+def run(cluster, coro):
+    return cluster.sim.run_until_complete(cluster.sim.spawn(coro))
+
+
+class TestZeroCopyUnpack:
+    def test_unpack_from_mapped_host(self, setup, rng):
+        cluster, gpu, engine = setup
+        dt = lower_triangular_type(64)
+        packed_np = rng.integers(0, 255, dt.size, dtype=np.uint8)
+        host = cluster.nodes[0].host_memory.alloc(dt.size)
+        host.bytes[:] = packed_np
+        map_host_buffer(host, gpu)
+        out = gpu.memory.alloc(dt.extent)
+        job = engine.unpack_job(dt, 1, out)
+        run(cluster, job.process_all(host, frag_bytes=4096))
+        assert np.array_equal(pack_bytes(dt, 1, out.bytes), packed_np)
+
+    def test_zero_copy_charges_pcie(self, setup, rng):
+        cluster, gpu, engine = setup
+        dt = submatrix_type(256, 512)
+        src = gpu.memory.alloc(dt.extent)
+        host = cluster.nodes[0].host_memory.alloc(dt.size)
+        map_host_buffer(host, gpu)
+        before = gpu.d2h_link.bytes_transferred
+        job = engine.pack_job(dt, 1, src)
+        run(cluster, job.process_all(host))
+        assert gpu.d2h_link.bytes_transferred - before >= dt.size
+
+
+class TestGridOption:
+    def test_small_grid_is_slower(self, setup):
+        cluster, gpu, engine = setup
+        dt = submatrix_type(512, 1024)
+        src = gpu.memory.alloc(dt.extent)
+        dst = gpu.memory.alloc(dt.size)
+
+        def timed(grid):
+            t0 = cluster.sim.now
+            job = engine.pack_job(dt, 1, src, EngineOptions(grid_blocks=grid))
+            run(cluster, job.process_all(dst))
+            return cluster.sim.now - t0
+
+        assert timed(1) > timed(120) * 2
+
+
+class TestForcedDevPath:
+    def test_same_bytes_slower_time(self, setup, rng):
+        cluster, gpu, engine = setup
+        dt = submatrix_type(256, 512)
+        src = gpu.memory.alloc(dt.extent)
+        src.write(rng.random(dt.extent // 8))
+        dst = gpu.memory.alloc(dt.size)
+
+        t0 = cluster.sim.now
+        job = engine.pack_job(dt, 1, src, EngineOptions())
+        run(cluster, job.process_all(dst))
+        vec_time = cluster.sim.now - t0
+        vec_bytes = dst.bytes.copy()
+
+        dst.fill(0)
+        t0 = cluster.sim.now
+        job = engine.pack_job(
+            dt, 1, src, EngineOptions(force_dev_path=True, use_cache=False)
+        )
+        run(cluster, job.process_all(dst))
+        dev_time = cluster.sim.now - t0
+        assert np.array_equal(dst.bytes, vec_bytes)
+        # the generic path pays DEV preparation; the specialized one doesn't
+        assert dev_time > vec_time
+
+
+class TestDegenerateMessages:
+    def test_empty_fragments_list(self, setup):
+        cluster, gpu, engine = setup
+        from repro.datatype.ddt import contiguous
+        from repro.datatype.primitives import DOUBLE
+
+        dt = contiguous(0, DOUBLE).commit()
+        src = gpu.memory.alloc(256)
+        job = engine.pack_job(dt, 1, src)
+        assert job.fragments(4096) == []
+        assert job.total_bytes == 0
+
+    def test_single_element(self, setup, rng):
+        cluster, gpu, engine = setup
+        from repro.datatype.ddt import contiguous
+        from repro.datatype.primitives import DOUBLE
+
+        dt = contiguous(1, DOUBLE).commit()
+        src = gpu.memory.alloc(256)
+        src.write(rng.random(1))
+        dst = gpu.memory.alloc(256)
+        job = engine.pack_job(dt, 1, src)
+        run(cluster, job.process_all(dst[:8]))
+        assert np.array_equal(dst.bytes[:8], src.bytes[:8])

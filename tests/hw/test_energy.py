@@ -1,0 +1,79 @@
+"""Tests for the dynamic-energy extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hw.energy import PowerRatings, energy_report
+from repro.hw.node import Cluster
+from repro.mpi.config import MpiConfig
+from repro.mpi.world import MpiWorld
+from repro.sim.trace import Tracer
+from repro.workloads.matrices import submatrix_type
+
+
+class TestRatings:
+    def test_classification(self):
+        r = PowerRatings()
+        assert r.classify("node0.gpu0.dtengine.r0") == r.gpu_kernel
+        # the copy-engine resource echoes stream-billed work: zero-rated
+        assert r.classify("node0.gpu0.ce") == 0.0
+        assert r.classify("node0.gpu0.stream0") == r.gpu_dma
+        assert r.classify("node0.pcie.h2d.node0.gpu0") == r.pcie
+        assert r.classify("ib.node0->node1") == r.nic
+        assert r.classify("node0.cpu_pack") == r.cpu_core
+        assert r.classify("node0.shmem") == r.shmem
+
+
+class TestReport:
+    def test_energy_is_power_times_busy(self):
+        t = Tracer()
+        t.record("node0.cpu_pack", 0.0, 2.0, "pack")
+        rep = energy_report(t)
+        assert rep.per_resource["node0.cpu_pack"] == pytest.approx(
+            2.0 * PowerRatings().cpu_core
+        )
+
+    def test_render_contains_total(self):
+        t = Tracer()
+        t.record("node0.cpu_pack", 0.0, 1.0, "pack")
+        assert "total" in energy_report(t).render()
+
+
+class TestPaperClaim:
+    def test_gpu_engine_uses_less_energy_than_cpu_pack(self, rng):
+        """Section 1's qualitative claim: offloading pack/unpack to the
+        GPU lowers the energy of a non-contiguous transfer, because the
+        CPU's seconds-long pack burns more than the GPU's milliseconds."""
+
+        def transfer_energy(use_gpu: bool) -> float:
+            cluster = Cluster(1, 2, trace=True)
+            if use_gpu:
+                world = MpiWorld(cluster, [(0, 0), (0, 1)])
+            else:
+                world = MpiWorld(cluster, [(0, None), (0, None)])
+            n, ld = 1024, 1536
+            V = submatrix_type(n, ld)
+            if use_gpu:
+                b0 = world.procs[0].ctx.malloc(ld * ld * 8)
+                b1 = world.procs[1].ctx.malloc(ld * ld * 8)
+            else:
+                b0 = world.procs[0].node.host_memory.alloc(ld * ld * 8)
+                b1 = world.procs[1].node.host_memory.alloc(ld * ld * 8)
+            b0.write(rng.random(ld * ld))
+
+            def s(mpi):
+                yield mpi.send(b0, V, 1, dest=1, tag=0)
+
+            def r(mpi):
+                yield mpi.recv(b1, V, 1, source=0, tag=0)
+
+            world.run([s, r])
+            cluster.tracer.clear()
+            world.run([s, r])
+            return energy_report(cluster.tracer).total_joules
+
+        e_gpu = transfer_energy(True)
+        e_cpu = transfer_energy(False)
+        assert e_gpu < e_cpu, f"GPU {e_gpu:.4f}J vs CPU {e_cpu:.4f}J"

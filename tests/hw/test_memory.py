@@ -1,0 +1,125 @@
+"""Tests for simulated memory arenas and buffer handles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hw.memory import Buffer, Memory, MemoryKind, OutOfMemory
+
+
+@pytest.fixture
+def mem() -> Memory:
+    return Memory("test", 1 << 20, MemoryKind.DEVICE)
+
+
+class TestAllocation:
+    def test_alloc_and_use(self, mem):
+        buf = mem.alloc(100)
+        assert buf.nbytes == 100
+        buf.fill(7)
+        assert (buf.bytes == 7).all()
+
+    def test_alignment_rounding(self, mem):
+        mem.alloc(1)
+        assert mem.bytes_in_use == Memory.ALIGNMENT
+
+    def test_oom(self, mem):
+        mem.alloc(1 << 19)
+        mem.alloc(1 << 19)
+        with pytest.raises(OutOfMemory):
+            mem.alloc(1)
+
+    def test_free_returns_capacity(self, mem):
+        buf = mem.alloc(1 << 19)
+        buf.free()
+        assert mem.bytes_in_use == 0
+        mem.alloc(1 << 20)  # whole capacity available again
+
+    def test_double_free_rejected(self, mem):
+        buf = mem.alloc(64)
+        buf.free()
+        with pytest.raises(ValueError):
+            buf.free()
+
+    def test_use_after_free_rejected(self, mem):
+        buf = mem.alloc(64)
+        buf.free()
+        with pytest.raises(ValueError, match="use after free"):
+            _ = buf.bytes
+
+    def test_zero_alloc_rejected(self, mem):
+        with pytest.raises(ValueError):
+            mem.alloc(0)
+
+    def test_peak_tracking(self, mem):
+        a = mem.alloc(1024)
+        b = mem.alloc(1024)
+        a.free()
+        b.free()
+        assert mem.peak_bytes_in_use == 2048
+        assert mem.bytes_in_use == 0
+
+    def test_kind_predicates(self):
+        dev = Memory("d", 1024, MemoryKind.DEVICE)
+        host = Memory("h", 1024, MemoryKind.HOST)
+        assert dev.alloc(16).is_device and not dev.alloc(16).is_host
+        assert host.alloc(16).is_host and not host.alloc(16).is_device
+
+
+class TestBuffer:
+    def test_slicing_aliases_bytes(self, mem):
+        buf = mem.alloc(256)
+        buf.fill(0)
+        sub = buf[16:32]
+        sub.fill(9)
+        assert (buf.bytes[16:32] == 9).all()
+        assert (buf.bytes[:16] == 0).all()
+
+    def test_slice_of_slice(self, mem):
+        buf = mem.alloc(256)
+        sub = buf[100:200][10:20]
+        assert sub.offset == buf.offset + 110
+        assert sub.nbytes == 10
+
+    def test_step_slices_rejected(self, mem):
+        with pytest.raises(TypeError):
+            _ = mem.alloc(64)[::2]
+
+    def test_view_roundtrip(self, mem, rng):
+        buf = mem.alloc(800)
+        data = rng.random(100)
+        buf.write(data)
+        assert np.array_equal(buf.view("f8")[:100], data)
+
+    def test_view_size_mismatch_rejected(self, mem):
+        buf = mem.alloc(10)
+        with pytest.raises(ValueError):
+            buf.view("f8")
+
+    def test_write_overrun_rejected(self, mem):
+        buf = mem.alloc(8)
+        with pytest.raises(ValueError):
+            buf.write(np.zeros(2, dtype="f8"))
+
+    def test_read_copies(self, mem):
+        buf = mem.alloc(64)
+        buf.write(np.arange(8, dtype="f8"))
+        out = buf.read("f8", 8)
+        buf.fill(0)
+        assert np.array_equal(out, np.arange(8))
+
+    def test_split_covers_buffer(self, mem):
+        buf = mem.alloc(100)
+        parts = list(buf.split(30))
+        assert [p.nbytes for p in parts] == [30, 30, 30, 10]
+        assert parts[0].offset == buf.offset
+        assert parts[-1].offset == buf.offset + 90
+
+    def test_out_of_range_construction_rejected(self, mem):
+        buf = mem.alloc(64)
+        with pytest.raises(ValueError):
+            Buffer(buf.allocation, 0, buf.allocation.nbytes + 1)
+
+    def test_len(self, mem):
+        assert len(mem.alloc(33)) == 33

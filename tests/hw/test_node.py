@@ -1,0 +1,120 @@
+"""Tests for node/cluster wiring, PCIe switch, and NIC models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.node import Cluster
+from repro.hw.params import k40_cluster
+
+
+class TestClusterConstruction:
+    def test_shapes(self):
+        c = Cluster(n_nodes=3, gpus_per_node=4)
+        assert len(c.nodes) == 3
+        assert all(len(n.gpus) == 4 for n in c.nodes)
+        assert c.gpu(2, 3).name == "node2.gpu3"
+
+    def test_every_gpu_wired_to_pcie(self, cluster):
+        for gpu in cluster.nodes[0].gpus:
+            assert gpu.h2d_link is not None and gpu.d2h_link is not None
+            assert gpu.node is cluster.nodes[0]
+
+    def test_p2p_paths_pairwise(self):
+        c = Cluster(1, 3)
+        gpus = c.nodes[0].gpus
+        for a in gpus:
+            for b in gpus:
+                if a is not b:
+                    assert b.name in a.p2p_links
+
+    def test_trace_flag(self):
+        c = Cluster(1, 1, trace=True)
+        assert c.tracer is not None
+        assert Cluster(1, 1).tracer is None
+
+
+class TestCpuEngines:
+    def test_cpu_pack_op_charges_time_and_runs_fn(self, cluster):
+        node = cluster.nodes[0]
+        seen = []
+        node.cpu_pack_op(10 * 1024 * 1024, fn=lambda: seen.append(cluster.sim.now))
+        cluster.sim.run()
+        p = node.params.host
+        expect = p.cpu_pack_overhead + 10 * 1024 * 1024 / p.cpu_pack_bw
+        assert seen == [pytest.approx(expect)]
+
+    def test_memcpy_faster_than_pack(self, cluster):
+        node = cluster.nodes[0]
+        n = 64 << 20
+        t_pack = node.cpu_pack_engine.occupancy_time(n)
+        t_copy = node.cpu_memcpy_engine.occupancy_time(n)
+        assert t_copy < t_pack
+
+
+class TestNic:
+    def test_wire_time(self, two_node_cluster):
+        c = two_node_cluster
+        nic = c.nodes[0].nic
+        fut = nic.send("node1", 1 << 20, payload="hello")
+        c.sim.run()
+        lp = c.params.ib
+        expect = lp.overhead + (1 << 20) / lp.bandwidth + lp.latency
+        assert c.sim.now == pytest.approx(expect)
+        assert fut.value == "hello"
+
+    def test_flows_to_same_destination_serialize(self, two_node_cluster):
+        c = two_node_cluster
+        nic = c.nodes[0].nic
+        nic.send("node1", 1 << 20)
+        nic.send("node1", 1 << 20)
+        c.sim.run()
+        lp = c.params.ib
+        expect = 2 * (lp.overhead + (1 << 20) / lp.bandwidth) + lp.latency
+        assert c.sim.now == pytest.approx(expect)
+
+    def test_gpudirect_degrades_large_messages(self, two_node_cluster):
+        c = two_node_cluster
+        nic = c.nodes[0].nic
+        t0 = c.sim.now
+        nic.send("node1", 1 << 20, gpudirect=True)
+        c.sim.run()
+        gdr_large = c.sim.now - t0
+        t0 = c.sim.now
+        nic.send("node1", 1 << 20)
+        c.sim.run()
+        host_staged = c.sim.now - t0
+        assert gdr_large > host_staged * 2
+
+    def test_gpudirect_small_messages_at_wire_speed(self, two_node_cluster):
+        c = two_node_cluster
+        nic = c.nodes[0].nic
+        small = nic.gpudirect_crossover_bytes // 2
+        t0 = c.sim.now
+        nic.send("node1", small, gpudirect=True)
+        c.sim.run()
+        gdr = c.sim.now - t0
+        t0 = c.sim.now
+        nic.send("node1", small)
+        c.sim.run()
+        assert gdr == pytest.approx(c.sim.now - t0)
+
+
+class TestParams:
+    def test_preset_ratio_structure(self):
+        p = k40_cluster()
+        # the ratios the reproduction depends on (DESIGN.md section 5)
+        assert p.gpu.copy_peak_bw > 10 * p.pcie_d2h.bandwidth
+        assert p.pcie_d2h.bandwidth > p.ib.bandwidth
+        assert p.ib.bandwidth > p.host.cpu_pack_bw
+
+    def test_with_gpu_override(self):
+        p = k40_cluster().with_gpu(copy_peak_bw=1.0)
+        assert p.gpu.copy_peak_bw == 1.0
+        # original untouched (frozen dataclasses)
+        assert k40_cluster().gpu.copy_peak_bw != 1.0
+
+    def test_derived_gpu_properties(self):
+        g = k40_cluster().gpu
+        assert g.warps_per_block == g.threads_per_block // 32
+        assert g.warp_iter_bytes == 32 * g.bytes_per_thread

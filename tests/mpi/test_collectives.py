@@ -1,0 +1,151 @@
+"""Tests for datatype-aware collectives over the GPU protocols."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datatype.convertor import pack_bytes
+from repro.datatype.ddt import contiguous
+from repro.datatype.primitives import DOUBLE
+from repro.hw.node import Cluster
+from repro.mpi.collectives import allgather, bcast, gather
+from repro.mpi.world import MpiWorld
+from repro.workloads.matrices import lower_triangular_type
+
+
+def gpu_world(n_ranks: int) -> MpiWorld:
+    cluster = Cluster(1, n_ranks)
+    return MpiWorld(cluster, [(0, g) for g in range(n_ranks)])
+
+
+class TestBcast:
+    @pytest.mark.parametrize("n_ranks", [2, 3, 4])
+    def test_triangular_bcast(self, n_ranks, rng):
+        world = gpu_world(n_ranks)
+        n = 48
+        T = lower_triangular_type(n)
+        bufs = [world.procs[r].ctx.malloc(n * n * 8) for r in range(n_ranks)]
+        bufs[0].write(rng.random(n * n))
+
+        def program(rank):
+            def run(mpi):
+                yield from bcast(mpi, bufs[rank], T, 1, root=0)
+            return run
+
+        world.run({r: program(r) for r in range(n_ranks)})
+        want = pack_bytes(T, 1, bufs[0].bytes)
+        for r in range(1, n_ranks):
+            assert np.array_equal(pack_bytes(T, 1, bufs[r].bytes), want)
+
+    def test_nonzero_root(self, rng):
+        world = gpu_world(3)
+        dt = contiguous(256, DOUBLE).commit()
+        bufs = [world.procs[r].ctx.malloc(2048) for r in range(3)]
+        bufs[2].write(rng.random(256))
+
+        def program(rank):
+            def run(mpi):
+                yield from bcast(mpi, bufs[rank], dt, 1, root=2)
+            return run
+
+        world.run({r: program(r) for r in range(3)})
+        for r in range(3):
+            assert np.array_equal(bufs[r].bytes, bufs[2].bytes)
+
+    def test_single_rank_noop(self):
+        world = gpu_world(1)
+        dt = contiguous(8, DOUBLE).commit()
+        buf = world.procs[0].ctx.malloc(256)
+
+        def program(mpi):
+            got = yield from bcast(mpi, buf, dt, 1)
+            assert got == 0
+
+        world.run([program])
+
+    def test_binomial_beats_linear_time(self, rng):
+        """log2 rounds: 4-rank bcast ~2 sequential hops, not 3."""
+        world = gpu_world(4)
+        dt = contiguous(1 << 18, DOUBLE).commit()  # 2 MiB
+        bufs = [world.procs[r].ctx.malloc(dt.size) for r in range(4)]
+        bufs[0].write(rng.random(1 << 18))
+
+        def program(rank):
+            def run(mpi):
+                yield from bcast(mpi, bufs[rank], dt, 1, root=0)
+            return run
+
+        world.run({r: program(r) for r in range(4)})  # warm-up
+        t4 = world.run({r: program(r) for r in range(4)})
+
+        world2 = gpu_world(2)
+        bufs2 = [world2.procs[r].ctx.malloc(dt.size) for r in range(2)]
+        bufs2[0].write(rng.random(1 << 18))
+
+        def program2(rank):
+            def run(mpi):
+                yield from bcast(mpi, bufs2[rank], dt, 1, root=0)
+            return run
+
+        world2.run({r: program2(r) for r in range(2)})
+        t2 = world2.run({r: program2(r) for r in range(2)})
+        # binomial: 4 ranks take ~2 rounds => < 2.6x the 2-rank time
+        assert t4 < t2 * 2.6
+
+
+class TestGather:
+    def test_gather_triangular_to_root(self, rng):
+        n_ranks = 3
+        world = gpu_world(n_ranks)
+        n = 32
+        T = lower_triangular_type(n)
+        packed = contiguous(T.size // 8, DOUBLE).commit()
+        sendbufs = [world.procs[r].ctx.malloc(n * n * 8) for r in range(n_ranks)]
+        for b in sendbufs:
+            b.write(rng.random(n * n))
+        recvbufs = [world.procs[0].ctx.malloc(T.size) for _ in range(n_ranks)]
+
+        def program(rank):
+            def run(mpi):
+                yield from gather(
+                    mpi, sendbufs[rank], T, 1,
+                    recvbufs if rank == 0 else None,
+                    packed if rank == 0 else None,
+                    1, root=0,
+                )
+            return run
+
+        world.run({r: program(r) for r in range(n_ranks)})
+        for r in range(n_ranks):
+            assert np.array_equal(
+                recvbufs[r].bytes, pack_bytes(T, 1, sendbufs[r].bytes)
+            )
+
+
+class TestAllgather:
+    def test_ring_allgather(self, rng):
+        n_ranks = 4
+        world = gpu_world(n_ranks)
+        dt = contiguous(512, DOUBLE).commit()
+        sendbufs = [world.procs[r].ctx.malloc(dt.size) for r in range(n_ranks)]
+        for i, b in enumerate(sendbufs):
+            b.write(np.full(512, float(i + 1)))
+        recv = [
+            [world.procs[r].ctx.malloc(dt.size) for _ in range(n_ranks)]
+            for r in range(n_ranks)
+        ]
+
+        def program(rank):
+            def run(mpi):
+                yield from allgather(
+                    mpi, sendbufs[rank], dt, 1, recv[rank], dt, 1
+                )
+            return run
+
+        world.run({r: program(r) for r in range(n_ranks)})
+        for r in range(n_ranks):
+            for src in range(n_ranks):
+                assert (recv[r][src].view("f8") == float(src + 1)).all(), (
+                    f"rank {r} block {src}"
+                )

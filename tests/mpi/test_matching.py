@@ -1,0 +1,82 @@
+"""Tests for MPI message matching semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mpi.matching import MatchingEngine, PostedRecv
+from repro.mpi.message import ANY_SOURCE, ANY_TAG, Envelope
+from repro.sim.core import Future, Simulator
+
+
+def post(engine, sim, source=ANY_SOURCE, tag=ANY_TAG, comm=0):
+    fut = Future(sim)
+    engine.post(PostedRecv(source=source, tag=tag, comm_id=comm, on_match=fut))
+    return fut
+
+
+def arrive(engine, source=0, tag=0, comm=0, what="msg"):
+    env = Envelope(source=source, dest=1, tag=tag, comm_id=comm)
+    return engine.arrive(env, what)
+
+
+class TestMatching:
+    def test_posted_then_arrival(self, sim):
+        eng = MatchingEngine()
+        fut = post(eng, sim, source=0, tag=7)
+        arrive(eng, source=0, tag=7, what="hello")
+        assert fut.value == "hello"
+
+    def test_arrival_then_posted(self, sim):
+        eng = MatchingEngine()
+        arrive(eng, source=0, tag=7, what="early")
+        assert eng.unexpected_count == 1
+        fut = post(eng, sim, source=0, tag=7)
+        assert fut.value == "early"
+        assert eng.unexpected_count == 0
+
+    def test_tag_mismatch_queues(self, sim):
+        eng = MatchingEngine()
+        fut = post(eng, sim, source=0, tag=7)
+        arrive(eng, source=0, tag=8)
+        assert not fut.done and eng.unexpected_count == 1
+
+    def test_source_wildcard(self, sim):
+        eng = MatchingEngine()
+        fut = post(eng, sim, source=ANY_SOURCE, tag=5)
+        arrive(eng, source=3, tag=5, what="from3")
+        assert fut.value == "from3"
+
+    def test_tag_wildcard(self, sim):
+        eng = MatchingEngine()
+        fut = post(eng, sim, source=2, tag=ANY_TAG)
+        arrive(eng, source=2, tag=99, what="x")
+        assert fut.value == "x"
+
+    def test_comm_isolation(self, sim):
+        eng = MatchingEngine()
+        fut = post(eng, sim, source=0, tag=1, comm=1)
+        arrive(eng, source=0, tag=1, comm=0)
+        assert not fut.done
+
+    def test_non_overtaking_same_source(self, sim):
+        eng = MatchingEngine()
+        arrive(eng, source=0, tag=4, what="first")
+        arrive(eng, source=0, tag=4, what="second")
+        a = post(eng, sim, source=0, tag=4)
+        b = post(eng, sim, source=0, tag=4)
+        assert a.value == "first" and b.value == "second"
+
+    def test_posted_receives_match_in_post_order(self, sim):
+        eng = MatchingEngine()
+        a = post(eng, sim, source=0, tag=4)
+        b = post(eng, sim, source=0, tag=4)
+        arrive(eng, source=0, tag=4, what="x")
+        assert a.done and not b.done
+
+    def test_wildcard_takes_earliest_unexpected(self, sim):
+        eng = MatchingEngine()
+        arrive(eng, source=5, tag=1, what="older")
+        arrive(eng, source=2, tag=1, what="newer")
+        fut = post(eng, sim, source=ANY_SOURCE, tag=1)
+        assert fut.value == "older"

@@ -1,0 +1,95 @@
+"""Tracer-based tests proving the pipelines actually pipeline.
+
+These are the invariants behind Figs 7 and 9: with fragmentation on,
+sender pack kernels overlap the wire, and the wire overlaps receiver
+unpack kernels; without fragmentation nothing overlaps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hw.node import Cluster
+from repro.mpi.config import MpiConfig
+from repro.mpi.world import MpiWorld
+from repro.workloads.matrices import submatrix_type
+
+
+def run_transfer(frag_bytes: int, n=512):
+    cluster = Cluster(1, 2, trace=True)
+    cfg = MpiConfig(frag_bytes=frag_bytes)
+    world = MpiWorld(cluster, [(0, 0), (0, 1)], cfg)
+    V = submatrix_type(n, 2 * n)
+    b0 = world.procs[0].ctx.malloc(4 * n * n * 8)
+    b1 = world.procs[1].ctx.malloc(4 * n * n * 8)
+    b0.write(np.random.default_rng(0).random(4 * n * n))
+
+    def s(mpi):
+        yield mpi.send(b0, V, 1, dest=1, tag=1)
+
+    def r(mpi):
+        yield mpi.recv(b1, V, 1, source=0, tag=1)
+
+    # warm up (registration + caches), then trace the steady-state run
+    world.run([s, r])
+    cluster.tracer.clear()
+    world.run([s, r])
+    return cluster.tracer
+
+
+class TestPipelineOverlap:
+    def test_pack_overlaps_wire_when_fragmented(self):
+        tracer = run_transfer(frag_bytes=256 << 10)
+        pack_stream = "node0.gpu0.dtengine.r0"
+        p2p = "node0.pcie.p2p.node0.gpu1->node0.gpu0"
+        pack_busy = tracer.busy_time(pack_stream)
+        overlap = tracer.overlap_time(pack_stream, p2p)
+        assert pack_busy > 0
+        # most of the packing hides under the wire
+        assert overlap > 0.5 * pack_busy
+
+    def test_wire_overlaps_unpack(self):
+        tracer = run_transfer(frag_bytes=256 << 10)
+        unpack_stream = "node0.gpu1.dtengine.r1"
+        p2p = "node0.pcie.p2p.node0.gpu1->node0.gpu0"
+        unpack_busy = tracer.busy_time(unpack_stream)
+        assert unpack_busy > 0
+        assert tracer.overlap_time(unpack_stream, p2p) > 0.5 * unpack_busy
+
+    def test_single_fragment_has_no_pack_wire_overlap(self):
+        tracer = run_transfer(frag_bytes=1 << 30)
+        pack_stream = "node0.gpu0.dtengine.r0"
+        p2p = "node0.pcie.p2p.node0.gpu1->node0.gpu0"
+        pack_busy = tracer.busy_time(pack_stream)
+        overlap = tracer.overlap_time(pack_stream, p2p)
+        # the whole message packs before a single byte hits the wire
+        # (only the IPC sync rides the wire during pack)
+        assert overlap < 0.2 * pack_busy
+
+    def test_fragmented_transfer_faster_at_scale(self):
+        """Per-fragment sync costs only amortize on large messages, where
+        hiding the kernels behind the wire wins (the Fig 9 regime)."""
+        t_frag = _elapsed(frag_bytes=4 << 20, n=2048)
+        t_whole = _elapsed(frag_bytes=1 << 30, n=2048)
+        assert t_frag < t_whole
+
+
+def _elapsed(frag_bytes: int, n=512) -> float:
+    cluster = Cluster(1, 2)
+    cfg = MpiConfig(frag_bytes=frag_bytes)
+    world = MpiWorld(cluster, [(0, 0), (0, 1)], cfg)
+    V = submatrix_type(n, 2 * n)
+    b0 = world.procs[0].ctx.malloc(4 * n * n * 8)
+    b1 = world.procs[1].ctx.malloc(4 * n * n * 8)
+
+    def s(mpi):
+        yield mpi.send(b0, V, 1, dest=1, tag=1)
+        yield mpi.recv(b0, V, 1, source=1, tag=2)
+
+    def r(mpi):
+        yield mpi.recv(b1, V, 1, source=0, tag=1)
+        yield mpi.send(b1, V, 1, dest=0, tag=2)
+
+    world.run([s, r])
+    return world.run([s, r])

@@ -1,0 +1,94 @@
+"""Property tests: RMA and collectives with random datatypes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datatype.convertor import pack_bytes
+from repro.hw.node import Cluster
+from repro.mpi.collectives import bcast
+from repro.mpi.rma import RmaWindow
+from repro.mpi.world import MpiWorld
+from tests.datatype.strategies import datatypes
+
+
+@settings(max_examples=12, deadline=None)
+@given(dt=datatypes(), data=st.randoms())
+def test_rma_put_random_datatype(dt, data):
+    world = MpiWorld(Cluster(1, 2), [(0, 0), (0, 1)])
+    rng = np.random.default_rng(data.randint(0, 2**31))
+    size = max(dt.spans.true_ub, 1) + 64
+    src = world.procs[0].ctx.malloc(size)
+    src.bytes[:] = rng.integers(0, 255, size, dtype=np.uint8)
+    windows = [world.procs[r].ctx.malloc(size) for r in range(2)]
+    windows[1].fill(0)
+    win = RmaWindow(world, windows)
+
+    def origin(mpi):
+        yield from win.fence(mpi)
+        win.put(mpi, src, dt, 1, target=1)
+        yield from win.fence(mpi)
+
+    def passive(mpi):
+        yield from win.fence(mpi)
+        yield from win.fence(mpi)
+
+    world.run([origin, passive])
+    assert np.array_equal(
+        pack_bytes(dt, 1, windows[1].bytes), pack_bytes(dt, 1, src.bytes)
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(dt=datatypes(), n_ranks=st.integers(2, 4), data=st.randoms())
+def test_bcast_random_datatype(dt, n_ranks, data):
+    world = MpiWorld(Cluster(1, n_ranks), [(0, g) for g in range(n_ranks)])
+    rng = np.random.default_rng(data.randint(0, 2**31))
+    size = max(dt.spans.true_ub, 1) + 64
+    bufs = [world.procs[r].ctx.malloc(size) for r in range(n_ranks)]
+    bufs[0].bytes[:] = rng.integers(0, 255, size, dtype=np.uint8)
+
+    def program(rank):
+        def run(mpi):
+            yield from bcast(mpi, bufs[rank], dt, 1, root=0)
+
+        return run
+
+    world.run({r: program(r) for r in range(n_ranks)})
+    want = pack_bytes(dt, 1, bufs[0].bytes)
+    for r in range(1, n_ranks):
+        assert np.array_equal(pack_bytes(dt, 1, bufs[r].bytes), want)
+
+
+@settings(max_examples=10, deadline=None)
+@given(dt=datatypes(), data=st.randoms())
+def test_rma_get_matches_put(dt, data):
+    """get(x) after put(x) into an untouched window returns x."""
+    world = MpiWorld(Cluster(1, 2), [(0, 0), (0, 1)])
+    rng = np.random.default_rng(data.randint(0, 2**31))
+    size = max(dt.spans.true_ub, 1) + 64
+    src = world.procs[0].ctx.malloc(size)
+    src.bytes[:] = rng.integers(0, 255, size, dtype=np.uint8)
+    back = world.procs[0].ctx.malloc(size)
+    back.fill(0)
+    windows = [world.procs[r].ctx.malloc(size) for r in range(2)]
+    win = RmaWindow(world, windows)
+
+    def origin(mpi):
+        yield from win.fence(mpi)
+        win.put(mpi, src, dt, 1, target=1)
+        yield from win.fence(mpi)
+        win.get(mpi, back, dt, 1, target=1)
+        yield from win.fence(mpi)
+
+    def passive(mpi):
+        for _ in range(3):
+            yield from win.fence(mpi)
+
+    world.run([origin, passive])
+    assert np.array_equal(
+        pack_bytes(dt, 1, back.bytes), pack_bytes(dt, 1, src.bytes)
+    )

@@ -1,0 +1,201 @@
+"""Tests for one-sided (RMA) operations over the datatype machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datatype.convertor import pack_bytes
+from repro.datatype.ddt import contiguous, vector
+from repro.datatype.primitives import DOUBLE
+from repro.hw.node import Cluster
+from repro.mpi.rma import RmaWindow
+from repro.mpi.world import MpiWorld
+from repro.workloads.matrices import lower_triangular_type
+
+
+def gpu_world():
+    return MpiWorld(Cluster(1, 2), [(0, 0), (0, 1)])
+
+
+def ib_world():
+    return MpiWorld(Cluster(2, 1), [(0, 0), (1, 0)])
+
+
+def host_world():
+    return MpiWorld(Cluster(1, 1), [(0, None), (0, None)])
+
+
+def run_epoch(world, win, ops_by_rank):
+    """Each rank runs its RMA ops inside one fence epoch."""
+
+    def program(rank):
+        def run(mpi):
+            yield from win.fence(mpi)
+            for op in ops_by_rank.get(rank, []):
+                op(mpi)
+            yield from win.fence(mpi)
+
+        return run
+
+    world.run({r: program(r) for r in range(world.size)})
+
+
+class TestIntraNodeDevice:
+    def test_put_triangular_into_peer_window(self, rng):
+        world = gpu_world()
+        n = 48
+        T = lower_triangular_type(n)
+        src = world.procs[0].ctx.malloc(n * n * 8)
+        src.write(rng.random(n * n))
+        windows = [world.procs[r].ctx.malloc(n * n * 8) for r in range(2)]
+        windows[1].fill(0)
+        win = RmaWindow(world, windows)
+        run_epoch(
+            world, win,
+            {0: [lambda mpi: win.put(mpi, src, T, 1, target=1)]},
+        )
+        assert np.array_equal(
+            pack_bytes(T, 1, windows[1].bytes), pack_bytes(T, 1, src.bytes)
+        )
+
+    def test_get_from_peer_window(self, rng):
+        world = gpu_world()
+        V = vector(16, 8, 24, DOUBLE).commit()
+        windows = [world.procs[r].ctx.malloc(V.extent + 256) for r in range(2)]
+        windows[1].write(rng.random((V.extent + 256) // 8))
+        dst = world.procs[0].ctx.malloc(V.extent + 256)
+        dst.fill(0)
+        win = RmaWindow(world, windows)
+        run_epoch(
+            world, win,
+            {0: [lambda mpi: win.get(mpi, dst, V, 1, target=1)]},
+        )
+        assert np.array_equal(
+            pack_bytes(V, 1, dst.bytes), pack_bytes(V, 1, windows[1].bytes)
+        )
+
+    def test_put_reshapes_between_datatypes(self, rng):
+        """Origin vector scattered as target contiguous (signatures match)."""
+        world = gpu_world()
+        V = vector(16, 8, 24, DOUBLE).commit()
+        C = contiguous(16 * 8, DOUBLE).commit()
+        src = world.procs[0].ctx.malloc(V.extent + 256)
+        src.write(rng.random((V.extent + 256) // 8))
+        windows = [world.procs[r].ctx.malloc(V.size) for r in range(2)]
+        win = RmaWindow(world, windows)
+        run_epoch(
+            world, win,
+            {0: [lambda mpi: win.put(mpi, src, V, 1, target=1, target_dt=C)]},
+        )
+        assert np.array_equal(windows[1].bytes, pack_bytes(V, 1, src.bytes))
+
+    def test_signature_mismatch_rejected(self):
+        world = gpu_world()
+        from repro.datatype.primitives import INT
+
+        windows = [world.procs[r].ctx.malloc(1024) for r in range(2)]
+        win = RmaWindow(world, windows)
+        src = world.procs[0].ctx.malloc(1024)
+        dtd = contiguous(8, DOUBLE).commit()
+        dti = contiguous(8, INT).commit()
+
+        def program(rank):
+            def run(mpi):
+                yield from win.fence(mpi)
+                if rank == 0:
+                    win.put(mpi, src, dtd, 1, target=1, target_dt=dti)
+                yield from win.fence(mpi)
+
+            return run
+
+        with pytest.raises(Exception):
+            world.run({r: program(r) for r in range(2)})
+
+
+class TestHostWindows:
+    def test_put_host_to_host(self, rng):
+        world = host_world()
+        dt = vector(8, 4, 12, DOUBLE).commit()
+        src = world.procs[0].node.host_memory.alloc(dt.extent + 64)
+        src.write(rng.random((dt.extent + 64) // 8))
+        windows = [
+            world.procs[r].node.host_memory.alloc(dt.extent + 64)
+            for r in range(2)
+        ]
+        windows[1].fill(0)
+        win = RmaWindow(world, windows)
+        run_epoch(world, win, {0: [lambda mpi: win.put(mpi, src, dt, 1, target=1)]})
+        assert np.array_equal(
+            pack_bytes(dt, 1, windows[1].bytes), pack_bytes(dt, 1, src.bytes)
+        )
+
+
+class TestInterNode:
+    def test_put_over_ib(self, rng):
+        world = ib_world()
+        n = 32
+        T = lower_triangular_type(n)
+        src = world.procs[0].ctx.malloc(n * n * 8)
+        src.write(rng.random(n * n))
+        windows = [world.procs[r].ctx.malloc(n * n * 8) for r in range(2)]
+        windows[1].fill(0)
+        win = RmaWindow(world, windows)
+        run_epoch(world, win, {0: [lambda mpi: win.put(mpi, src, T, 1, target=1)]})
+        assert np.array_equal(
+            pack_bytes(T, 1, windows[1].bytes), pack_bytes(T, 1, src.bytes)
+        )
+
+    def test_get_over_ib(self, rng):
+        world = ib_world()
+        dt = contiguous(4096, DOUBLE).commit()
+        windows = [world.procs[r].ctx.malloc(dt.size) for r in range(2)]
+        windows[1].write(rng.random(4096))
+        dst = world.procs[0].ctx.malloc(dt.size)
+        win = RmaWindow(world, windows)
+        run_epoch(world, win, {0: [lambda mpi: win.get(mpi, dst, dt, 1, target=1)]})
+        assert np.array_equal(dst.bytes, windows[1].bytes)
+
+
+class TestEpochSemantics:
+    def test_ops_complete_by_fence(self, rng):
+        world = gpu_world()
+        dt = contiguous(1 << 15, DOUBLE).commit()
+        src = world.procs[0].ctx.malloc(dt.size)
+        src.write(rng.random(1 << 15))
+        windows = [world.procs[r].ctx.malloc(dt.size) for r in range(2)]
+        win = RmaWindow(world, windows)
+        checked = {}
+
+        def origin(mpi):
+            yield from win.fence(mpi)
+            win.put(mpi, src, dt, 1, target=1)
+            yield from win.fence(mpi)
+
+        def target(mpi):
+            yield from win.fence(mpi)
+            yield from win.fence(mpi)
+            checked["ok"] = np.array_equal(windows[1].bytes, src.bytes)
+
+        world.run([origin, target])
+        assert checked["ok"]
+
+    def test_concurrent_puts_to_distinct_targets(self, rng):
+        world = MpiWorld(Cluster(1, 3), [(0, 0), (0, 1), (0, 2)])
+        dt = contiguous(1024, DOUBLE).commit()
+        srcs = [world.procs[r].ctx.malloc(dt.size) for r in range(3)]
+        for i, s in enumerate(srcs):
+            s.write(np.full(1024, float(i)))
+        windows = [world.procs[r].ctx.malloc(dt.size) for r in range(3)]
+        win = RmaWindow(world, windows)
+        run_epoch(
+            world, win,
+            {
+                0: [lambda mpi: win.put(mpi, srcs[0], dt, 1, target=1)],
+                1: [lambda mpi: win.put(mpi, srcs[1], dt, 1, target=2)],
+                2: [lambda mpi: win.put(mpi, srcs[2], dt, 1, target=0)],
+            },
+        )
+        assert (windows[1].view("f8") == 0.0).all()
+        assert (windows[2].view("f8") == 1.0).all()
+        assert (windows[0].view("f8") == 2.0).all()

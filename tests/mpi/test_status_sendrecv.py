@@ -1,0 +1,161 @@
+"""Tests for Status objects, sendrecv, and wait_any."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datatype.ddt import contiguous, vector
+from repro.datatype.primitives import DOUBLE
+from repro.hw.node import Cluster
+from repro.mpi.requests import Status
+from repro.mpi.world import MpiWorld
+
+
+def cpu_world():
+    return MpiWorld(Cluster(1, 1), [(0, None), (0, None)])
+
+
+class TestStatus:
+    def test_recv_resolves_with_status(self, rng):
+        world = cpu_world()
+        dt = contiguous(64, DOUBLE).commit()
+        b0 = world.procs[0].node.host_memory.alloc(512)
+        b0.write(rng.random(64))
+        b1 = world.procs[1].node.host_memory.alloc(512)
+        seen = {}
+
+        def s(mpi):
+            yield mpi.send(b0, dt, 1, dest=1, tag=42)
+
+        def r(mpi):
+            status = yield mpi.recv(b1, dt, 1, source=0, tag=42)
+            seen["status"] = status
+
+        world.run([s, r])
+        st = seen["status"]
+        assert isinstance(st, Status)
+        assert st.source == 0 and st.tag == 42
+        assert st.count_bytes == dt.size
+        assert st.get_count(dt) == 1
+
+    def test_status_on_rendezvous(self, rng):
+        world = cpu_world()
+        dt = contiguous(1 << 16, DOUBLE).commit()  # well past eager
+        b0 = world.procs[0].node.host_memory.alloc(dt.size)
+        b1 = world.procs[1].node.host_memory.alloc(dt.size)
+        seen = {}
+
+        def s(mpi):
+            yield mpi.send(b0, dt, 1, dest=1, tag=7)
+
+        def r(mpi):
+            seen["status"] = yield mpi.recv(b1, dt, 1, source=0, tag=7)
+
+        world.run([s, r])
+        assert seen["status"].count_bytes == dt.size
+
+    def test_wildcard_recv_reports_actual_source(self, rng):
+        world = MpiWorld(Cluster(1, 1), [(0, None), (0, None), (0, None)])
+        dt = contiguous(16, DOUBLE).commit()
+        b = world.procs[2].node.host_memory.alloc(256)
+        src = world.procs[1].node.host_memory.alloc(256)
+        seen = {}
+
+        def quiet(mpi):
+            return
+            yield
+
+        def s(mpi):
+            yield mpi.send(src, dt, 1, dest=2, tag=9)
+
+        def r(mpi):
+            from repro.mpi.message import ANY_SOURCE
+
+            seen["status"] = yield mpi.recv(b, dt, 1, source=ANY_SOURCE, tag=9)
+
+        world.run([quiet, s, r])
+        assert seen["status"].source == 1
+
+    def test_get_count_partial_element(self):
+        dt = contiguous(3, DOUBLE).commit()
+        st = Status(source=0, tag=0, count_bytes=20)
+        assert st.get_count(dt) == -1  # MPI_UNDEFINED
+
+
+class TestSendrecv:
+    def test_bidirectional_exchange(self, rng):
+        world = cpu_world()
+        dt = contiguous(256, DOUBLE).commit()
+        bufs = {
+            r: (
+                world.procs[r].node.host_memory.alloc(dt.size),
+                world.procs[r].node.host_memory.alloc(dt.size),
+            )
+            for r in range(2)
+        }
+        bufs[0][0].write(np.full(256, 1.0))
+        bufs[1][0].write(np.full(256, 2.0))
+
+        def program(rank):
+            other = 1 - rank
+
+            def run(mpi):
+                snd, rcv = bufs[rank]
+                yield mpi.sendrecv(snd, dt, 1, other, rcv, dt, 1, source=other)
+
+            return run
+
+        world.run({0: program(0), 1: program(1)})
+        assert (bufs[0][1].view("f8") == 2.0).all()
+        assert (bufs[1][1].view("f8") == 1.0).all()
+
+    def test_ring_shift_no_deadlock(self):
+        """Every rank sendrecvs to its right neighbour simultaneously."""
+        n = 4
+        world = MpiWorld(Cluster(1, 1), [(0, None)] * n)
+        dt = contiguous(1 << 15, DOUBLE).commit()  # rendezvous-sized
+        snd = [world.procs[r].node.host_memory.alloc(dt.size) for r in range(n)]
+        rcv = [world.procs[r].node.host_memory.alloc(dt.size) for r in range(n)]
+        for r in range(n):
+            snd[r].write(np.full(1 << 15, float(r)))
+
+        def program(rank):
+            def run(mpi):
+                yield mpi.sendrecv(
+                    snd[rank], dt, 1, (rank + 1) % n,
+                    rcv[rank], dt, 1, source=(rank - 1) % n,
+                )
+            return run
+
+        world.run({r: program(r) for r in range(n)})
+        for r in range(n):
+            assert (rcv[r].view("f8") == float((r - 1) % n)).all()
+
+
+class TestWaitAny:
+    def test_first_completion_wins(self, rng):
+        world = cpu_world()
+        small = contiguous(8, DOUBLE).commit()
+        big = contiguous(1 << 16, DOUBLE).commit()
+        p0, p1 = world.procs
+        s_small = p0.node.host_memory.alloc(small.size)
+        s_big = p0.node.host_memory.alloc(big.size)
+        r_small = p1.node.host_memory.alloc(small.size)
+        r_big = p1.node.host_memory.alloc(big.size)
+        seen = {}
+
+        def s(mpi):
+            a = mpi.isend(s_big, big, 1, dest=1, tag=1)
+            b = mpi.isend(s_small, small, 1, dest=1, tag=2)
+            yield mpi.wait_all(a, b)
+
+        def r(mpi):
+            a = mpi.irecv(r_big, big, 1, source=0, tag=1)
+            b = mpi.irecv(r_small, small, 1, source=0, tag=2)
+            idx, _val = yield mpi.wait_any(a, b)
+            seen["first"] = idx
+            yield mpi.wait_all(a, b)
+
+        world.run([s, r])
+        assert seen["first"] == 1  # the small eager message lands first

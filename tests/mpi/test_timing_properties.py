@@ -1,0 +1,132 @@
+"""Timing-property tests: the protocol behaviours the paper banks on.
+
+These assert *relations* on the simulated clock (faster/slower, scaling),
+complementing the correctness tests — a regression that silently
+serializes a pipeline or skips a fast path fails here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datatype.ddt import contiguous, vector
+from repro.datatype.primitives import DOUBLE
+from repro.hw.node import Cluster
+from repro.mpi.config import MpiConfig
+from repro.mpi.world import MpiWorld
+from repro.workloads.matrices import lower_triangular_type, submatrix_type
+
+
+def timed_transfer(kind, s_dt, r_dt, n_elems, config=None, footprint=None):
+    if kind == "sm-2gpu":
+        world = MpiWorld(Cluster(1, 2), [(0, 0), (0, 1)], config)
+    else:
+        world = MpiWorld(Cluster(2, 1), [(0, 0), (1, 0)], config)
+    size = footprint or max(s_dt.extent, r_dt.extent) + 256
+    b0 = world.procs[0].ctx.malloc(size)
+    b1 = world.procs[1].ctx.malloc(size)
+
+    def s(mpi):
+        yield mpi.send(b0, s_dt, 1, dest=1, tag=1)
+
+    def r(mpi):
+        yield mpi.recv(b1, r_dt, 1, source=0, tag=1)
+
+    world.run([s, r])
+    return world.run([s, r])
+
+
+class TestFastPaths:
+    def test_contiguous_sender_beats_general(self):
+        n = 1024
+        V = submatrix_type(n, n + 256)
+        C = contiguous(n * n, DOUBLE).commit()
+        fp = max(V.extent, C.extent) + 256
+        # C -> V skips the sender pack stage entirely
+        fast = timed_transfer("sm-2gpu", C, V, n, footprint=fp)
+        general = timed_transfer("sm-2gpu", V, V, n, footprint=fp)
+        assert fast <= general * 1.02
+
+    def test_contiguous_receiver_beats_general(self):
+        n = 1024
+        V = submatrix_type(n, n + 256)
+        C = contiguous(n * n, DOUBLE).commit()
+        fp = max(V.extent, C.extent) + 256
+        fast = timed_transfer("sm-2gpu", V, C, n, footprint=fp)
+        general = timed_transfer("sm-2gpu", V, V, n, footprint=fp)
+        assert fast <= general * 1.02
+
+    def test_both_contiguous_is_fastest(self):
+        n = 1024
+        V = submatrix_type(n, n + 256)
+        C = contiguous(n * n, DOUBLE).commit()
+        fp = max(V.extent, C.extent) + 256
+        cc = timed_transfer("sm-2gpu", C, C, n, footprint=fp)
+        vv = timed_transfer("sm-2gpu", V, V, n, footprint=fp)
+        assert cc < vv
+
+
+class TestScaling:
+    def test_time_grows_with_payload(self):
+        times = []
+        for n in (256, 512, 1024):
+            V = submatrix_type(n, n + 256)
+            times.append(timed_transfer("sm-2gpu", V, V, n))
+        assert times[0] < times[1] < times[2]
+        # 4x payload should cost 2.5-4.5x once wire-bound
+        assert 2.0 < times[2] / times[1] < 4.6
+
+    def test_ib_slower_than_sm_for_large(self):
+        n = 1024
+        V = submatrix_type(n, n + 256)
+        sm = timed_transfer("sm-2gpu", V, V, n)
+        ib = timed_transfer("ib", V, V, n)
+        assert ib > sm  # 6.8 GB/s wire vs ~11.5 GB/s P2P
+
+
+class TestConfigKnobs:
+    def test_zero_copy_not_slower_on_ib(self):
+        n = 1024
+        T = lower_triangular_type(n)
+        zc = timed_transfer("ib", T, T, n, MpiConfig(zero_copy=True))
+        no = timed_transfer("ib", T, T, n, MpiConfig(zero_copy=False))
+        assert zc <= no * 1.02
+
+    def test_ipc_beats_copy_in_out_intra_node(self):
+        n = 1024
+        T = lower_triangular_type(n)
+        ipc = timed_transfer("sm-2gpu", T, T, n, MpiConfig(use_cuda_ipc=True))
+        cio = timed_transfer("sm-2gpu", T, T, n, MpiConfig(use_cuda_ipc=False))
+        assert ipc < cio
+
+    def test_first_transfer_pays_registration_once(self):
+        world = MpiWorld(Cluster(1, 2), [(0, 0), (0, 1)])
+        n = 512
+        V = submatrix_type(n, n + 256)
+        b0 = world.procs[0].ctx.malloc(V.extent + 256)
+        b1 = world.procs[1].ctx.malloc(V.extent + 256)
+
+        def s(mpi):
+            yield mpi.send(b0, V, 1, dest=1, tag=1)
+
+        def r(mpi):
+            yield mpi.recv(b1, V, 1, source=0, tag=1)
+
+        t1 = world.run([s, r])
+        t2 = world.run([s, r])
+        t3 = world.run([s, r])
+        reg = world.cluster.params.ipc_registration_cost
+        assert t1 - t2 > reg * 0.8
+        assert t2 == pytest.approx(t3)
+
+    def test_eager_limit_moves_protocol_boundary(self):
+        """A message under the eager limit completes sender-side sooner."""
+        n_elems = 1024  # 8 KiB
+        dt = contiguous(n_elems, DOUBLE).commit()
+        eager = timed_transfer(
+            "ib", dt, dt, n_elems, MpiConfig(eager_limit=64 << 10)
+        )
+        rndv = timed_transfer("ib", dt, dt, n_elems, MpiConfig(eager_limit=0))
+        # rendezvous adds at least the RTS/CTS round trip
+        assert rndv > eager

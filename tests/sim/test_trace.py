@@ -1,0 +1,90 @@
+"""Tests for the timeline tracer and interval arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.trace import Span, Tracer, merge_intervals, union_length
+
+
+class TestSpan:
+    def test_duration(self):
+        assert Span("r", 1.0, 3.0, "x").duration == 2.0
+
+    def test_overlap_detection(self):
+        a = Span("r", 0.0, 2.0, "a")
+        b = Span("r", 1.0, 3.0, "b")
+        c = Span("r", 2.0, 4.0, "c")
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)  # touching is not overlapping
+
+
+class TestIntervalMath:
+    def test_merge_overlapping(self):
+        assert merge_intervals([(0, 2), (1, 3), (5, 6)]) == [(0, 3), (5, 6)]
+
+    def test_merge_adjacent(self):
+        assert merge_intervals([(0, 1), (1, 2)]) == [(0, 2)]
+
+    def test_union_length(self):
+        assert union_length([(0, 2), (1, 3), (10, 11)]) == pytest.approx(4.0)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        ivs=st.lists(
+            st.tuples(st.floats(0, 100), st.floats(0, 100)).map(
+                lambda p: (min(p), max(p))
+            ),
+            max_size=20,
+        )
+    )
+    def test_union_bounds(self, ivs):
+        ivs = [(a, b) for a, b in ivs if b > a]
+        total = union_length(ivs)
+        assert total <= sum(b - a for a, b in ivs) + 1e-9
+        if ivs:
+            lo = min(a for a, _ in ivs)
+            hi = max(b for _, b in ivs)
+            assert total <= hi - lo + 1e-9
+
+
+class TestTracer:
+    def test_busy_time_merges(self):
+        t = Tracer()
+        t.record("gpu", 0.0, 2.0, "k1")
+        t.record("gpu", 1.0, 3.0, "k2")
+        assert t.busy_time("gpu") == pytest.approx(3.0)
+
+    def test_overlap_time_between_resources(self):
+        t = Tracer()
+        t.record("gpu", 0.0, 4.0, "pack")
+        t.record("pcie", 2.0, 6.0, "xfer")
+        assert t.overlap_time("gpu", "pcie") == pytest.approx(2.0)
+
+    def test_overlap_disjoint_is_zero(self):
+        t = Tracer()
+        t.record("a", 0.0, 1.0, "x")
+        t.record("b", 2.0, 3.0, "y")
+        assert t.overlap_time("a", "b") == 0.0
+
+    def test_resources_listing(self):
+        t = Tracer()
+        t.record("b", 0, 1, "x")
+        t.record("a", 0, 1, "x")
+        t.record("b", 1, 2, "x")
+        assert t.resources() == ["b", "a"]
+
+    def test_makespan(self):
+        t = Tracer()
+        assert t.makespan() == 0.0
+        t.record("a", 1.0, 2.0, "x")
+        t.record("b", 4.0, 9.0, "y")
+        assert t.makespan() == pytest.approx(8.0)
+
+    def test_clear(self):
+        t = Tracer()
+        t.record("a", 0, 1, "x")
+        t.clear()
+        assert not t.spans

@@ -1,0 +1,95 @@
+"""Fast smoke test of the paper's headline claims.
+
+A one-file sanity pass over the reproduction's core results at small
+sizes (the full-size sweeps with calibrated thresholds live under
+``benchmarks/``).  If this file passes, the engine, both protocols, and
+the baseline still behave like the paper says they should.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import make_env, matrix_buffers, mvapich_pingpong, pingpong
+from repro.gpu_engine.engine import EngineOptions
+from repro.workloads.matrices import (
+    MatrixWorkload,
+    lower_triangular_type,
+    stair_triangular_type,
+    submatrix_type,
+)
+
+N = 1024
+
+
+@pytest.fixture(scope="module")
+def kernel_bandwidths():
+    env = make_env("sm-1gpu")
+    proc = env.world.procs[0]
+    sim = env.sim
+    out = {}
+    for name, dt in (
+        ("V", submatrix_type(N, N + 512)),
+        ("T", lower_triangular_type(N)),
+        ("T-stair", stair_triangular_type(N, 512)),
+    ):
+        src = proc.ctx.malloc(dt.extent)
+        dst = proc.ctx.malloc(dt.size)
+        proc.engine.warm_cache(dt, 1)
+        job = proc.engine.pack_job(dt, 1, src, EngineOptions(use_cache=True))
+        t0 = sim.now
+        sim.run_until_complete(sim.spawn(job.process_all(dst)))
+        out[name] = dt.size / (sim.now - t0)
+    a = proc.ctx.malloc(N * N * 8)
+    b = proc.ctx.malloc(N * N * 8)
+    t0 = sim.now
+    sim.run_until_complete(env.gpu0.memcpy_d2d(b, a))
+    out["C"] = N * N * 8 / (sim.now - t0)
+    return out
+
+
+class TestHeadlineClaims:
+    def test_vector_kernel_near_memcpy_peak(self, kernel_bandwidths):
+        """Claim (Fig 6): the vector pack kernel ~ cudaMemcpy."""
+        assert kernel_bandwidths["V"] > 0.85 * kernel_bandwidths["C"]
+
+    def test_occupancy_gap_and_stair_recovery(self, kernel_bandwidths):
+        """Claim (Figs 5-6): T trails V; the stair variant recovers."""
+        assert kernel_bandwidths["T"] < 0.8 * kernel_bandwidths["V"]
+        assert kernel_bandwidths["T-stair"] > 0.9 * kernel_bandwidths["V"]
+
+    def test_beats_mvapich_everywhere(self):
+        """Claim (Fig 10): 'always significantly faster'."""
+        for kind in ("sm-1gpu", "sm-2gpu", "ib"):
+            wl = MatrixWorkload.triangular(512)
+            env = make_env(kind)
+            b0, b1 = matrix_buffers(env, wl)
+            ours = pingpong(env, b0, wl.datatype, 1, b1, wl.datatype, 1, 1)
+            env2 = make_env(kind)
+            c0, c1 = matrix_buffers(env2, wl)
+            theirs = mvapich_pingpong(env2, c0, wl.datatype, 1, c1, wl.datatype, 1, 1)
+            assert ours < theirs / 2, f"{kind}: {ours} vs {theirs}"
+
+    def test_one_gpu_faster_than_two(self):
+        """Claim (Fig 10a/b): no PCIe crossing -> at least ~2x faster."""
+        wl = MatrixWorkload.submatrix(N, N + 512)
+        times = {}
+        for kind in ("sm-1gpu", "sm-2gpu"):
+            env = make_env(kind)
+            b0, b1 = matrix_buffers(env, wl)
+            times[kind] = pingpong(env, b0, wl.datatype, 1, b1, wl.datatype, 1, 2)
+        assert times["sm-2gpu"] >= 2 * times["sm-1gpu"]
+
+    def test_data_always_bit_exact(self):
+        """The invariant under every claim: nothing corrupts bytes."""
+        from repro.datatype.convertor import pack_bytes
+
+        wl = MatrixWorkload.triangular(N)
+        env = make_env("ib")
+        b0, b1 = matrix_buffers(env, wl)
+        pingpong(env, b0, wl.datatype, 1, b1, wl.datatype, 1, 1)
+        assert np.array_equal(
+            pack_bytes(wl.datatype, 1, b0.bytes),
+            pack_bytes(wl.datatype, 1, b1.bytes),
+        )

@@ -1,0 +1,97 @@
+"""Tests for the matrix workload datatypes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datatype.convertor import pack_bytes, unpack_bytes
+from repro.workloads.matrices import (
+    MatrixWorkload,
+    lower_triangular_type,
+    stair_mask,
+    stair_triangular_type,
+    submatrix_type,
+    transpose_type,
+    triangular_mask,
+)
+
+
+class TestSubmatrix:
+    def test_extracts_columns(self, rng):
+        n, ld = 8, 16
+        dt = submatrix_type(n, ld)
+        mat = rng.random(ld * ld)
+        packed = pack_bytes(dt, 1, mat.view(np.uint8)).view("f8")
+        grid = mat.reshape(ld, ld).T  # column-major view
+        assert np.array_equal(packed, grid[:n, :n].T.reshape(-1))
+
+    def test_payload_and_footprint(self):
+        wl = MatrixWorkload.submatrix(64, 128)
+        assert wl.payload_bytes == 64 * 64 * 8
+        assert wl.footprint_bytes == 128 * 128 * 8
+
+    def test_ld_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            submatrix_type(64, 32)
+
+
+class TestTriangular:
+    def test_mask_agrees_with_type(self, rng):
+        n = 16
+        dt = lower_triangular_type(n)
+        mat = rng.random(n * n)
+        packed = pack_bytes(dt, 1, mat.view(np.uint8)).view("f8")
+        mask = triangular_mask(n, n)
+        assert np.array_equal(packed, mat[mask])
+
+    def test_size_is_half(self):
+        n = 100
+        dt = lower_triangular_type(n)
+        assert dt.size == n * (n + 1) // 2 * 8
+
+    def test_includes_diagonal(self, rng):
+        n = 4
+        dt = lower_triangular_type(n)
+        mat = np.arange(16, dtype="f8")
+        packed = pack_bytes(dt, 1, mat.view(np.uint8)).view("f8")
+        # col-major: column c starts at c*n+c
+        assert packed[0] == mat[0]
+        assert packed[n] == mat[n + 1]  # second column's diagonal element
+
+
+class TestStair:
+    def test_block_lengths_multiples_of_nb(self):
+        dt = stair_triangular_type(64, 16)
+        assert all(l % (16 * 8) == 0 for l in dt.spans.lens.tolist())
+
+    def test_superset_of_triangle(self):
+        n, nb = 32, 8
+        tri = triangular_mask(n, n)
+        stair = stair_mask(n, nb, n)
+        assert (stair | tri == stair).all()  # stair covers the triangle
+
+    def test_non_divisible_rejected(self):
+        with pytest.raises(ValueError):
+            stair_triangular_type(30, 8)
+
+
+class TestTranspose:
+    def test_unpack_transposes(self, rng):
+        n = 12
+        dt = transpose_type(n)
+        mat = rng.random(n * n)
+        out = np.zeros(n * n)
+        unpack_bytes(dt, 1, out.view(np.uint8), mat.view(np.uint8))
+        assert np.array_equal(out.reshape(n, n), mat.reshape(n, n).T)
+
+    def test_signature_matches_contiguous(self):
+        from repro.datatype.ddt import contiguous
+        from repro.datatype.primitives import DOUBLE
+
+        n = 8
+        assert transpose_type(n).signature == contiguous(n * n, DOUBLE).commit().signature
+
+    def test_span_count_is_n_squared(self):
+        n = 10
+        assert transpose_type(n).spans.count == n * n

@@ -1,0 +1,74 @@
+"""Tests for stencil-halo and particle workload datatypes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datatype.convertor import pack_bytes
+from repro.workloads.particles import (
+    PARTICLE_FIELDS,
+    particle_index_type,
+    particle_record_type,
+    random_particle_indices,
+)
+from repro.workloads.stencil import stencil_halo_types
+
+
+class TestStencil:
+    def test_shapes(self):
+        halo = stencil_halo_types(rows=16, cols=12, halo=2)
+        assert halo.north.size == 2 * 12 * 8
+        assert halo.west.size == 16 * 2 * 8
+        assert halo.north.is_contiguous
+        assert not halo.west.is_contiguous
+
+    def test_west_band_extraction(self, rng):
+        rows, cols, h = 8, 6, 1
+        halo = stencil_halo_types(rows, cols, h)
+        grid = rng.random(rows * cols)
+        packed = pack_bytes(halo.west, 1, grid.view(np.uint8)).view("f8")
+        assert np.array_equal(packed, grid.reshape(rows, cols)[:, :h].reshape(-1))
+
+    def test_east_offset(self, rng):
+        rows, cols, h = 8, 6, 1
+        halo = stencil_halo_types(rows, cols, h)
+        grid = rng.random(rows * cols)
+        off = halo.offsets()["east"]
+        packed = pack_bytes(
+            halo.east, 1, grid.view(np.uint8)[off:]
+        ).view("f8")
+        assert np.array_equal(
+            packed, grid.reshape(rows, cols)[:, cols - h :].reshape(-1)
+        )
+
+    def test_halo_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            stencil_halo_types(4, 4, 3)
+
+
+class TestParticles:
+    def test_record_size(self):
+        assert particle_record_type().size == PARTICLE_FIELDS * 8
+
+    def test_index_type_selects_records(self, rng):
+        n_local, n_send = 50, 7
+        idx = random_particle_indices(n_local, n_send, seed=9)
+        dt = particle_index_type(idx)
+        particles = rng.random(n_local * PARTICLE_FIELDS)
+        packed = pack_bytes(dt, 1, particles.view(np.uint8)).view("f8")
+        expect = np.concatenate(
+            [
+                particles[i * PARTICLE_FIELDS : (i + 1) * PARTICLE_FIELDS]
+                for i in idx
+            ]
+        )
+        assert np.array_equal(packed, expect)
+
+    def test_indices_sorted_unique(self):
+        idx = random_particle_indices(100, 30, seed=1)
+        assert (np.diff(idx) > 0).all()
+
+    def test_oversubscription_rejected(self):
+        with pytest.raises(ValueError):
+            random_particle_indices(10, 11)
