@@ -33,7 +33,25 @@ def main(argv=None) -> int:
         help=f"which figures to run (default: all of {', '.join(FIGURES)})",
     )
     parser.add_argument("--list", action="store_true", help="list figures")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run one traced transfer per protocol and verify the "
+        "stats/trace plumbing instead of regenerating figures",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="DIR",
+        default=None,
+        help="with --smoke: directory to keep the Chrome/Perfetto "
+        "trace JSON files in (default: a temporary directory)",
+    )
     args = parser.parse_args(argv)
+
+    if args.smoke:
+        from repro.bench.smoke import run_smoke
+
+        return run_smoke(trace_dir=args.trace_out)
 
     if args.list:
         for name in FIGURES:

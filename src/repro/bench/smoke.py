@@ -1,0 +1,112 @@
+"""End-to-end observability smoke test: ``python -m repro.bench --smoke``.
+
+Runs one rendezvous ping-pong per protocol — ``ipc_rdma`` (two GPUs,
+shared memory), ``copyinout`` (two nodes over InfiniBand) and ``host``
+(two host-only ranks) — with tracing on, then asserts the uniform stats
+object every benchmark consumes is fully populated:
+
+* every :class:`~repro.obs.stats.TransferStats` record is complete
+  (protocol, peer, fragments, timestamps);
+* the expected protocol was actually chosen;
+* the tracer reports per-resource busy time, and the trace exports to
+  Chrome/Perfetto JSON (with the metric snapshot embedded) and loads
+  back.
+
+It is both a CLI entry point and the body of a CI test
+(``tests/bench/test_smoke.py``) — a cheap, always-on check that the
+metrics plumbing stays wired through every layer.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+from repro.bench.harness import make_env, matrix_buffers, pingpong_stats
+from repro.mpi.config import MpiConfig
+from repro.obs.stats import WorldStats
+from repro.sim.trace import load_chrome_trace, save_chrome_trace
+from repro.workloads.matrices import MatrixWorkload
+
+__all__ = ["SMOKE_CASES", "run_smoke", "smoke_one"]
+
+#: (environment kind, protocol the receiver must choose)
+SMOKE_CASES = [
+    ("sm-2gpu", "ipc_rdma"),
+    ("ib", "copyinout"),
+    ("cpu", "host"),
+]
+
+
+def smoke_one(kind: str, expect_protocol: str, trace_path: str) -> WorldStats:
+    """One traced ping-pong on ``kind``; assert the stats are coherent."""
+    # small fragments so even this small message genuinely pipelines
+    env = make_env(kind, config=MpiConfig(frag_bytes=16 * 1024), trace=True)
+    # triangular (indexed) type: takes the DEV path, so the CUDA_DEV
+    # cache is consulted — the warmup fills it, the measured run hits
+    wl = MatrixWorkload.triangular(n=128)  # ~64 KB packed: rendezvous
+    b0, b1 = matrix_buffers(env, wl)
+    per_iter, ws = pingpong_stats(
+        env, b0, wl.datatype, 1, b1, wl.datatype, 1, iters=1, warmup=1
+    )
+
+    if per_iter <= 0.0:
+        raise AssertionError(f"{kind}: non-positive round-trip time")
+    if not ws.is_complete():
+        bad = [t.to_dict() for t in ws.transfers if not t.is_complete()]
+        raise AssertionError(f"{kind}: incomplete transfer records: {bad}")
+    if len(ws.transfers) != 4:  # send+recv per direction
+        raise AssertionError(f"{kind}: expected 4 records, got {len(ws.transfers)}")
+    if set(ws.by_protocol) != {expect_protocol}:
+        raise AssertionError(
+            f"{kind}: expected protocol {expect_protocol!r}, got {ws.by_protocol}"
+        )
+    if ws.total_bytes != 2 * wl.datatype.size:
+        raise AssertionError(f"{kind}: wrong byte count {ws.total_bytes}")
+    if not ws.resource_busy_s:
+        raise AssertionError(f"{kind}: tracer recorded no busy resources")
+    if kind != "cpu":
+        if ws.pack_busy_s <= 0.0:
+            # GPU environments must show datatype-engine pack activity
+            raise AssertionError(f"{kind}: no pack-stage busy time")
+        if ws.cache.lookups == 0 or ws.cache_hit_rate <= 0.0:
+            # the warmup filled the CUDA_DEV cache; the run must hit it
+            raise AssertionError(f"{kind}: cache never hit ({ws.cache})")
+        if ws.pack_wire_overlap_fraction <= 0.0:
+            raise AssertionError(f"{kind}: pipeline shows no pack/wire overlap")
+    if not ws.metrics:
+        raise AssertionError(f"{kind}: empty metrics snapshot")
+
+    save_chrome_trace(env.cluster.tracer, trace_path, metrics=ws)
+    doc = load_chrome_trace(trace_path)
+    if not doc.get("traceEvents"):
+        raise AssertionError(f"{kind}: exported trace has no events")
+    if "metrics" not in doc:
+        raise AssertionError(f"{kind}: exported trace lost the metric snapshot")
+    return ws
+
+
+def run_smoke(trace_dir: str | None = None, verbose: bool = True) -> int:
+    """Run every smoke case; returns a process exit code."""
+    own_dir = None
+    if trace_dir is None:
+        own_dir = tempfile.TemporaryDirectory(prefix="repro-smoke-")
+        trace_dir = own_dir.name
+    try:
+        os.makedirs(trace_dir, exist_ok=True)
+    except (FileExistsError, NotADirectoryError):
+        print(f"error: --trace-out {trace_dir!r} is not a directory")
+        return 2
+    try:
+        for kind, protocol in SMOKE_CASES:
+            path = os.path.join(trace_dir, f"smoke-{kind}.trace.json")
+            ws = smoke_one(kind, protocol, path)
+            if verbose:
+                print(f"== {kind} ({protocol}) -> {path}")
+                print(ws.summary())
+        if verbose:
+            print("smoke: all protocols OK")
+        return 0
+    finally:
+        if own_dir is not None:
+            own_dir.cleanup()

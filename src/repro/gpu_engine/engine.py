@@ -33,6 +33,8 @@ from repro.gpu_engine.vector_kernel import vector_kernel_stats
 from repro.gpu_engine.work_units import WorkUnits, split_units
 from repro.hw.gpu import Gpu, KernelStats, Stream
 from repro.hw.memory import Buffer
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.stats import EngineStats
 from repro.sim.core import Future, all_of
 
 __all__ = ["EngineOptions", "Fragment", "PackJob", "GpuDatatypeEngine"]
@@ -230,8 +232,10 @@ class PackJob:
         self._prepped_units = frag.unit_hi
         node = self.gpu.node
         upload = (n * 24) / self.gpu.h2d_link.bandwidth
+        cost = self.prep_time(n) + upload
+        self.engine._m_prep.observe(cost)
         return node.cpu_prep_engine.transfer(
-            0, extra_overhead=self.prep_time(n) + upload, label="dev-prep"
+            0, extra_overhead=cost, label="dev-prep"
         )
 
     # -- kernel (GPU stage) ------------------------------------------------------
@@ -301,6 +305,9 @@ class PackJob:
             # purely in-device kernels share the GPU's DRAM with every
             # other stream (two ranks on one GPU contend realistically)
             co_links.append(self.gpu.copy_engine)
+        self.engine._m_kernel.observe(duration)
+        self.engine._m_fragments.inc()
+        self.engine._m_bytes.inc(frag.nbytes)
         return stream.enqueue(
             duration,
             fn=lambda: self._move(frag, contig),
@@ -414,12 +421,44 @@ class GpuDatatypeEngine:
         gpu: Gpu,
         cache: Optional[DevCache] = None,
         stream_name: str = "dtengine",
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if gpu.node is None:
             raise ValueError("GPU must be attached to a node")
         self.gpu = gpu
-        self.cache = cache or DevCache(gpu)
+        self.metrics = (
+            metrics if metrics is not None else MetricsRegistry().scoped("engine.")
+        )
+        self.cache = cache or DevCache(gpu, metrics=self.metrics.scoped("cache."))
         self.stream = gpu.stream(stream_name)
+        self._m_jobs = self.metrics.counter("jobs")
+        self._m_fragments = self.metrics.counter("fragments")
+        self._m_bytes = self.metrics.counter("bytes_packed")
+        self._m_prep = self.metrics.timer("prep_seconds")
+        self._m_kernel = self.metrics.timer("kernel_seconds")
+
+    def stats(self) -> EngineStats:
+        """Structured totals for the two pipeline stages plus the cache."""
+        return EngineStats(
+            jobs=self._m_jobs.value,
+            fragments=self._m_fragments.value,
+            prep_s=self._m_prep.seconds,
+            kernel_s=self._m_kernel.seconds,
+            bytes_packed=self._m_bytes.value,
+            cache=self.cache.stats(),
+        )
+
+    def reset_counters(self) -> None:
+        """Zero the engine's and cache's counters (cache entries stay)."""
+        for m in (
+            self._m_jobs,
+            self._m_fragments,
+            self._m_bytes,
+            self._m_prep,
+            self._m_kernel,
+        ):
+            m.reset()
+        self.cache.reset_counters()
 
     def pack_job(
         self,
@@ -429,6 +468,7 @@ class GpuDatatypeEngine:
         options: Optional[EngineOptions] = None,
     ) -> PackJob:
         """Build a pack job for (datatype, count, user buffer)."""
+        self._m_jobs.inc()
         return PackJob(self, dt, count, user_buf, "pack", options or EngineOptions())
 
     def unpack_job(
@@ -439,6 +479,7 @@ class GpuDatatypeEngine:
         options: Optional[EngineOptions] = None,
     ) -> PackJob:
         """Build an unpack job for (datatype, count, user buffer)."""
+        self._m_jobs.inc()
         return PackJob(
             self, dt, count, user_buf, "unpack", options or EngineOptions()
         )

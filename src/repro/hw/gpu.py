@@ -109,7 +109,7 @@ class Stream:
         for link in co_links:
             link.occupy_until(end, nbytes=nbytes, label=label)
         self.ops += 1
-        if self.gpu.tracer is not None:
+        if self.gpu.tracer:
             self.gpu.tracer.record(
                 f"{self.gpu.name}.{self.name}", start, end, label, nbytes
             )

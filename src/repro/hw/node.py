@@ -18,7 +18,7 @@ from repro.hw.params import SystemParams, k40_cluster
 from repro.hw.pcie import PcieSwitch
 from repro.sim.core import Future, Simulator
 from repro.sim.resources import FifoLink
-from repro.sim.trace import Tracer
+from repro.sim.trace import NullTracer, Tracer
 
 __all__ = ["Node", "Cluster"]
 
@@ -130,7 +130,9 @@ class Cluster:
     ) -> None:
         self.params = params or k40_cluster()
         self.sim = Simulator()
-        self.tracer = Tracer() if trace else None
+        #: always a tracer object — a :class:`NullTracer` when disabled —
+        #: so consumers never need a None guard
+        self.tracer: Tracer = Tracer() if trace else NullTracer()
         self.nodes = [
             Node(
                 self.sim,

@@ -34,6 +34,7 @@ from repro.mpi.protocols.common import (
     TransferState,
     describe_side,
 )
+from repro.obs.stats import TransferStats
 from repro.sim.core import Future
 from repro.sim.resources import Mailbox
 
@@ -172,6 +173,7 @@ def isend_coro(
             and getattr(btl, "supports_gpudirect", False)
             and dst_proc.gpu is not None
         )
+        t0 = proc.sim.now
         data = yield from _eager_pack_coro(proc, buf, dt, count, gpudirect=gdr)
         header = {
             "eager": True,
@@ -184,6 +186,12 @@ def isend_coro(
         yield btl.am_send(
             "pml.rts", header, payload=data, envelope=env, gpudirect=gdr
         )
+        proc.record_transfer(TransferStats(
+            tid=f"{proc.rank}.eager.{next(_tids)}", role="send", peer=dest,
+            protocol="eager", mode="gpudirect" if gdr else "",
+            total_bytes=total, frag_bytes=total, fragments=1,
+            max_in_flight=1, start_s=t0, end_s=proc.sim.now,
+        ))
         return total
 
     tid = f"{proc.rank}.{next(_tids)}"
@@ -203,6 +211,7 @@ def isend_coro(
         depth=cfg.pipeline_depth,
         role="s",
     )
+    state.stats.peer = dest
     # RDMA resources are advertised in the RTS (Fig 4: the connection
     # request carries the memory handle and the local datatype's shape)
     ring_key = None
@@ -232,8 +241,13 @@ def isend_coro(
         )
         cts_pkt = yield cts_box.get()
         protocol = cts_pkt.header["protocol"]
+        state.stats.protocol = protocol
         r_info: SideInfo = cts_pkt.header["side"]
         result = yield from SENDERS[protocol](state, s_info, r_info, cts_pkt.header)
+        state.stats.end_s = proc.sim.now
+        if state.stats.fragments == 0:
+            state.stats.fragments = 1
+        proc.record_transfer(state.stats)
     finally:
         proc.unregister_handler(f"x{tid}.s.cts")
         state.unbind_all("done")
@@ -262,10 +276,18 @@ def irecv_coro(
     _signature_check(header["signature"], dt.signature)
 
     if header["eager"]:
+        t0 = proc.sim.now
+        gdr = header.get("gpudirect", False)
         got = yield from _eager_unpack_coro(
-            proc, buf, dt, count, payload,
-            gpudirect=header.get("gpudirect", False),
+            proc, buf, dt, count, payload, gpudirect=gdr,
         )
+        proc.record_transfer(TransferStats(
+            tid=f"{proc.rank}.eager.{next(_tids)}", role="recv",
+            peer=env.source, protocol="eager",
+            mode="gpudirect" if gdr else "",
+            total_bytes=got, frag_bytes=got, fragments=1,
+            max_in_flight=1, start_s=t0, end_s=proc.sim.now,
+        ))
         return Status(source=env.source, tag=env.tag, count_bytes=got)
 
     tid = header["tid"]
@@ -288,6 +310,8 @@ def irecv_coro(
         depth=s_info.ring_segments,
         role="r",
     )
+    state.stats.peer = env.source
+    state.stats.protocol = protocol
     state.bind_inbox("frag")
     state.bind_inbox("done")
     try:
@@ -299,6 +323,10 @@ def irecv_coro(
                 state.peer("cts"), {"protocol": protocol, "side": r_info}
             )
             result = yield from RECEIVERS[protocol](state, s_info, r_info)
+        state.stats.end_s = proc.sim.now
+        if state.stats.fragments == 0:
+            state.stats.fragments = 1
+        proc.record_transfer(state.stats)
     finally:
         state.unbind_all("frag", "done")
     return Status(source=env.source, tag=env.tag, count_bytes=result)

@@ -9,6 +9,8 @@ from repro.gpu_engine.engine import GpuDatatypeEngine
 from repro.mpi.config import MpiConfig
 from repro.mpi.matching import MatchingEngine
 from repro.mpi.message import AmPacket
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.stats import TransferStats
 from repro.sim.core import Simulator
 
 if TYPE_CHECKING:
@@ -28,6 +30,7 @@ class MpiProcess:
         node: "Node",
         gpu: Optional["Gpu"],
         config: MpiConfig,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.rank = rank
         self.node = node
@@ -35,6 +38,14 @@ class MpiProcess:
         self.config = config
         self.sim: Simulator = node.sim
         self.matching = MatchingEngine()
+        #: rank-scoped view of the world's registry (own registry standalone)
+        self.metrics = (
+            metrics
+            if metrics is not None
+            else MetricsRegistry().scoped(f"r{rank}.")
+        )
+        #: one :class:`TransferStats` per completed transfer on this rank
+        self.transfer_log: list[TransferStats] = []
         self.ctx: Optional[CudaContext] = CudaContext(gpu) if gpu else None
         self._engine: Optional[GpuDatatypeEngine] = None
         self._handlers: dict[str, Callable[[AmPacket, "Btl"], None]] = {}
@@ -85,9 +96,23 @@ class MpiProcess:
             # per-process stream: ranks sharing a GPU still get their own
             # CUDA streams, so sender pack and receiver unpack overlap
             self._engine = GpuDatatypeEngine(
-                self.gpu, stream_name=f"dtengine.r{self.rank}"
+                self.gpu,
+                stream_name=f"dtengine.r{self.rank}",
+                metrics=self.metrics.scoped("engine."),
             )
         return self._engine
+
+    def record_transfer(self, stats: TransferStats) -> None:
+        """Log a finished transfer and bump the per-protocol counters."""
+        stats.rank = self.rank
+        self.transfer_log.append(stats)
+        self.metrics.counter(f"pml.{stats.role}s").inc()
+        self.metrics.counter(f"pml.{stats.role}_bytes").inc(stats.total_bytes)
+        self.metrics.counter(f"protocol.{stats.protocol or 'unknown'}").inc()
+        if stats.mode:
+            self.metrics.counter(
+                f"protocol.{stats.protocol}.{stats.mode}"
+            ).inc()
 
     # -- Active Message dispatch -----------------------------------------
     def register_handler(

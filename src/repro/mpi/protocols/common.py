@@ -10,6 +10,7 @@ from repro.datatype.convertor import Convertor
 from repro.datatype.ddt import Datatype
 from repro.gpu_engine.engine import PackJob
 from repro.hw.memory import Buffer
+from repro.obs.stats import TransferStats
 from repro.sim.core import Future
 from repro.sim.resources import Mailbox, Semaphore
 
@@ -92,11 +93,57 @@ class TransferState:
     #: qualifies AM handler names so a rank sending to *itself* (e.g. a
     #: collective's self-contribution) binds both sides without collision
     role: str = "s"
+    #: structured per-transfer record, published to the rank's
+    #: ``transfer_log`` by the PML when the protocol finishes
+    stats: TransferStats = None  # type: ignore[assignment]
 
     def __post_init__(self) -> None:
         sim = self.proc.sim
         self.inbox = Mailbox(sim, name=f"{self.tid}.inbox")
         self.credits = Semaphore(sim, value=self.depth, name=f"{self.tid}.credits")
+        self.stats = TransferStats(
+            tid=self.tid,
+            role="send" if self.role == "s" else "recv",
+            rank=self.proc.rank,
+            total_bytes=self.total,
+            frag_bytes=self.frag_bytes,
+            start_s=sim.now,
+        )
+        self._in_flight = 0
+
+    # -- observability helpers ----------------------------------------------
+    def ranges(self) -> list[tuple[int, int]]:
+        """The transfer's fragment plan, recorded into the stats record."""
+        r = byte_ranges(self.total, self.frag_bytes)
+        self.stats.fragments = len(r)
+        return r
+
+    def frag_begin(self) -> None:
+        """One more fragment in flight (tracks the high-water mark)."""
+        self._in_flight += 1
+        if self._in_flight > self.stats.max_in_flight:
+            self.stats.max_in_flight = self._in_flight
+
+    def frag_end(self) -> None:
+        """One fragment retired."""
+        self._in_flight = max(0, self._in_flight - 1)
+
+    def acquire_credit(self) -> Future:
+        """``credits.acquire()`` that accounts blocked time and in-flight."""
+        t0 = self.proc.sim.now
+        fut = self.credits.acquire()
+
+        def granted(_fut: Future) -> None:
+            self.stats.credit_wait_s += self.proc.sim.now - t0
+            self.frag_begin()
+
+        fut.add_callback(granted)
+        return fut
+
+    def release_credit(self) -> None:
+        """``credits.release()`` that retires one in-flight fragment."""
+        self.frag_end()
+        self.credits.release()
 
     # -- handler helpers -----------------------------------------------------
     def bind(self, suffix: str, fn) -> str:
@@ -111,7 +158,7 @@ class TransferState:
 
     def bind_credit(self, suffix: str) -> str:
         """Make an AM handler release one pipeline credit per packet."""
-        return self.bind(suffix, lambda pkt, _btl: self.credits.release())
+        return self.bind(suffix, lambda pkt, _btl: self.release_credit())
 
     def unbind_all(self, *suffixes: str) -> None:
         """Remove this side's handlers for the given suffixes."""

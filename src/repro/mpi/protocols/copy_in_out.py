@@ -17,12 +17,7 @@ one process uses device memory while the other only uses host memory").
 
 from __future__ import annotations
 
-from repro.mpi.protocols.common import (
-    CpuSideJob,
-    SideInfo,
-    TransferState,
-    byte_ranges,
-)
+from repro.mpi.protocols.common import CpuSideJob, SideInfo, TransferState
 from repro.sim.core import Future
 
 __all__ = ["sender", "receiver"]
@@ -43,14 +38,14 @@ def sender(state: TransferState, s_info: SideInfo, r_info: SideInfo, cts: dict):
     """Sender side of the copy-in/out pipeline (pack -> stage -> wire)."""
     proc, btl = state.proc, state.btl
     cfg = proc.config
-    ranges = byte_ranges(state.total, state.frag_bytes)
+    ranges = state.ranges()
     n_frags = len(ranges)
     acks = {"n": 0}
     all_acked = Future(proc.sim, label=f"{state.tid}.all-acked")
 
     def on_ack(pkt, _btl) -> None:
         acks["n"] += 1
-        state.credits.release()
+        state.release_credit()
         if acks["n"] == n_frags:
             all_acked.resolve(None)
 
@@ -70,7 +65,7 @@ def sender(state: TransferState, s_info: SideInfo, r_info: SideInfo, cts: dict):
         else:
             job = CpuSideJob(proc, state.dt, state.count, state.buf, "pack")
         for i, (lo, hi) in enumerate(ranges):
-            yield state.credits.acquire()
+            yield state.acquire_credit()
             seg = segs[i % state.depth][: hi - lo]
             if on_device:
                 frag = job.range_fragment(i, lo, hi)
@@ -106,7 +101,7 @@ def receiver(state: TransferState, s_info: SideInfo, r_info: SideInfo):
     """Receiver side of the copy-in/out pipeline (deposit -> unpack)."""
     proc, btl = state.proc, state.btl
     cfg = proc.config
-    ranges = byte_ranges(state.total, state.frag_bytes)
+    ranges = state.ranges()
     on_device = r_info.loc == "device"
     zero_copy = on_device and cfg.zero_copy
     ring, segs = _ring(state, zero_copy)
@@ -120,6 +115,7 @@ def receiver(state: TransferState, s_info: SideInfo, r_info: SideInfo):
             job = CpuSideJob(proc, state.dt, state.count, state.buf, "unpack")
         for k in range(len(ranges)):
             pkt = yield state.inbox.get()
+            state.frag_begin()
             i, lo, hi = pkt.header["i"], pkt.header["lo"], pkt.header["hi"]
             seg = segs[i % state.depth][: hi - lo]
             # the wire deposited the fragment into our posted staging
@@ -134,6 +130,7 @@ def receiver(state: TransferState, s_info: SideInfo, r_info: SideInfo):
                     yield from job.process_fragment(frag, dseg)
             else:
                 yield job.process_range(lo, hi, seg.bytes)
+            state.frag_end()
             btl.am_send(state.peer("ack"), {"i": i})
     finally:
         proc.release_staging("host", ring, zero_copy_map=zero_copy)

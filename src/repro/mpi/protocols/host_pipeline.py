@@ -10,12 +10,7 @@ comparison configuration.
 
 from __future__ import annotations
 
-from repro.mpi.protocols.common import (
-    CpuSideJob,
-    SideInfo,
-    TransferState,
-    byte_ranges,
-)
+from repro.mpi.protocols.common import CpuSideJob, SideInfo, TransferState
 from repro.sim.core import Future
 
 __all__ = ["sender", "receiver"]
@@ -24,14 +19,14 @@ __all__ = ["sender", "receiver"]
 def sender(state: TransferState, s_info: SideInfo, r_info: SideInfo, cts: dict):
     """Sender side: pack fragments, send, respect the credit window."""
     proc, btl = state.proc, state.btl
-    ranges = byte_ranges(state.total, state.frag_bytes)
+    ranges = state.ranges()
     n_frags = len(ranges)
     acks = {"n": 0}
     all_acked = Future(proc.sim, label=f"{state.tid}.all-acked")
 
     def on_ack(pkt, _btl) -> None:
         acks["n"] += 1
-        state.credits.release()
+        state.release_credit()
         if acks["n"] == n_frags:
             all_acked.resolve(None)
 
@@ -42,7 +37,7 @@ def sender(state: TransferState, s_info: SideInfo, r_info: SideInfo, cts: dict):
         stage = proc.node.host_memory.alloc(state.frag_bytes, label="snd-stage")
     try:
         for i, (lo, hi) in enumerate(ranges):
-            yield state.credits.acquire()
+            yield state.acquire_credit()
             if job.contiguous:
                 payload = state.buf.bytes[lo:hi]
             else:
@@ -64,13 +59,15 @@ def sender(state: TransferState, s_info: SideInfo, r_info: SideInfo, cts: dict):
 def receiver(state: TransferState, s_info: SideInfo, r_info: SideInfo):
     """Receiver side: unpack each arriving fragment, acknowledge it."""
     proc, btl = state.proc, state.btl
-    ranges = byte_ranges(state.total, state.frag_bytes)
+    ranges = state.ranges()
     job = CpuSideJob(proc, state.dt, state.count, state.buf, "unpack")
     try:
         for _ in ranges:
             pkt = yield state.inbox.get()
+            state.frag_begin()
             lo, hi = pkt.header["lo"], pkt.header["hi"]
             yield job.process_range(lo, hi, pkt.payload)
+            state.frag_end()
             btl.am_send(state.peer("ack"), {"i": pkt.header["i"]})
     finally:
         state.unbind_all("frag")

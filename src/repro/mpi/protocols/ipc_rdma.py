@@ -27,7 +27,7 @@ copy, the 10-15 % win of Section 5.2.1 — controlled by
 from __future__ import annotations
 
 from repro.cuda.ipc import IpcMemHandle
-from repro.mpi.protocols.common import SideInfo, TransferState, byte_ranges
+from repro.mpi.protocols.common import SideInfo, TransferState
 from repro.sim.core import Future, all_of
 
 __all__ = ["sender", "receiver", "transfer_mode"]
@@ -52,6 +52,7 @@ def transfer_mode(s_info: SideInfo, r_info: SideInfo) -> str:
 def sender(state: TransferState, s_info: SideInfo, r_info: SideInfo, cts: dict):
     """Sender side of the pipelined RDMA protocol (mode-dispatched)."""
     mode = cts["mode"]
+    state.stats.mode = mode
     if mode == "general":
         return (yield from _sender_general(state, cts))
     if mode == "general_put":
@@ -68,14 +69,14 @@ def _sender_general(state: TransferState, cts: dict):
     """Pack fragments into the ring; notify; recycle on ACK."""
     proc, btl = state.proc, state.btl
     ring = state.ring  # our device ring, allocated by the PML pre-RTS
-    ranges = byte_ranges(state.total, state.frag_bytes)
+    ranges = state.ranges()
     n_frags = len(ranges)
     acks = {"n": 0}
     all_acked = Future(proc.sim, label=f"{state.tid}.all-acked")
 
     def on_ack(pkt, _btl) -> None:
         acks["n"] += 1
-        state.credits.release()
+        state.release_credit()
         if acks["n"] == n_frags:
             all_acked.resolve(None)
 
@@ -85,7 +86,7 @@ def _sender_general(state: TransferState, cts: dict):
             state.dt, state.count, state.buf, proc.config.engine
         )
         for i, (lo, hi) in enumerate(ranges):
-            yield state.credits.acquire()
+            yield state.acquire_credit()
             slot = i % state.depth
             seg = ring[slot * state.frag_bytes :][: hi - lo]
             frag = job.range_fragment(i, lo, hi)
@@ -105,7 +106,7 @@ def _sender_into_receiver(state: TransferState, r_info: SideInfo, cts: dict):
     handle: IpcMemHandle = cts["handle"]
     mapped = yield handle.open(proc.gpu, proc.ipc_cache)
     job = proc.engine.pack_job(state.dt, state.count, state.buf, proc.config.engine)
-    for i, (lo, hi) in enumerate(byte_ranges(state.total, state.frag_bytes)):
+    for i, (lo, hi) in enumerate(state.ranges()):
         frag = job.range_fragment(i, lo, hi)
         yield from job.process_fragment(frag, mapped[lo:hi])
     btl.am_send(state.peer("done"), {"done": True})
@@ -120,6 +121,7 @@ def _sender_into_receiver(state: TransferState, r_info: SideInfo, cts: dict):
 def receiver(state: TransferState, s_info: SideInfo, r_info: SideInfo):
     """Receiver side of the pipelined RDMA protocol (mode-dispatched)."""
     mode = transfer_mode(s_info, r_info)
+    state.stats.mode = mode
     if mode == "general":
         if state.proc.config.rdma_mode == "put":
             return (yield from _receiver_put(state, s_info, r_info))
@@ -163,6 +165,7 @@ def _receiver_general(state: TransferState, s_info: SideInfo, r_info: SideInfo):
             """
             i, lo, hi = pkt.header["i"], pkt.header["lo"], pkt.header["hi"]
             slot = pkt.header["slot"]
+            state.frag_begin()
             remote_seg = mapped_ring[slot * state.frag_bytes :][: hi - lo]
             frag = job.range_fragment(i, lo, hi)
             # CUDA IPC event wait before touching the remote-owned segment
@@ -181,10 +184,11 @@ def _receiver_general(state: TransferState, s_info: SideInfo, r_info: SideInfo):
             else:
                 # unpack straight out of the (possibly remote) ring segment
                 yield from job.process_fragment(frag, remote_seg)
+            state.frag_end()
             btl.am_send(state.peer("ack"), {"i": i})
 
         chains = []
-        for _ in byte_ranges(state.total, state.frag_bytes):
+        for _ in state.ranges():
             pkt = yield state.inbox.get()
             chains.append(proc.sim.spawn(handle(pkt), label="rdma-unpack"))
         yield all_of(proc.sim, chains)
@@ -228,13 +232,13 @@ def _receiver_from_sender(
             yield from job.process_fragment(frag, lseg)
         else:
             yield from job.process_fragment(frag, src)
-        state.credits.release()
+        state.release_credit()
 
     try:
         chains = []
-        for i, (lo, hi) in enumerate(byte_ranges(state.total, state.frag_bytes)):
+        for i, (lo, hi) in enumerate(state.ranges()):
             # the credit window bounds how many staging slots are in flight
-            yield state.credits.acquire()
+            yield state.acquire_credit()
             chains.append(proc.sim.spawn(handle(i, lo, hi), label="get-unpack"))
         yield all_of(proc.sim, chains)
     finally:
@@ -266,7 +270,7 @@ def _receiver_get_contig(
     else:
         # pipelined GET: fragments hide per-op overhead behind the wire
         futs = []
-        for lo, hi in byte_ranges(state.total, state.frag_bytes):
+        for lo, hi in state.ranges():
             futs.append(
                 proc.gpu.memcpy_peer(
                     state.buf[lo:hi], mapped[lo:hi], sender_gpu
@@ -292,6 +296,7 @@ def _receiver_put(state: TransferState, s_info: SideInfo, r_info: SideInfo):
     """
     proc, btl = state.proc, state.btl
     cfg = proc.config
+    state.stats.mode = "general_put"
     ring = proc.acquire_staging("device", state.frag_bytes * state.depth)
     handle = IpcMemHandle.get(ring)
     _cts(state, r_info, "general_put", handle=handle)
@@ -302,13 +307,15 @@ def _receiver_put(state: TransferState, s_info: SideInfo, r_info: SideInfo):
             """Per-fragment chain: unpack the locally landed bytes, ACK."""
             i, lo, hi = pkt.header["i"], pkt.header["lo"], pkt.header["hi"]
             slot = pkt.header["slot"]
+            state.frag_begin()
             seg = ring[slot * state.frag_bytes :][: hi - lo]
             frag = job.range_fragment(i, lo, hi)
             yield from job.process_fragment(frag, seg)
+            state.frag_end()
             btl.am_send(state.peer("ack"), {"i": i})
 
         chains = []
-        for _ in byte_ranges(state.total, state.frag_bytes):
+        for _ in state.ranges():
             pkt = yield state.inbox.get()
             chains.append(proc.sim.spawn(handle_frag(pkt), label="put-unpack"))
         yield all_of(proc.sim, chains)
@@ -324,14 +331,14 @@ def _sender_put(state: TransferState, cts: dict):
     mapped = yield handle.open(proc.gpu, proc.ipc_cache)
     target_gpu = handle.source_gpu
     cross_gpu = target_gpu is not proc.gpu
-    ranges = byte_ranges(state.total, state.frag_bytes)
+    ranges = state.ranges()
     n_frags = len(ranges)
     acks = {"n": 0}
     all_acked = Future(proc.sim, label=f"{state.tid}.all-acked")
 
     def on_ack(pkt, _btl) -> None:
         acks["n"] += 1
-        state.credits.release()
+        state.release_credit()
         if acks["n"] == n_frags:
             all_acked.resolve(None)
 
@@ -340,7 +347,7 @@ def _sender_put(state: TransferState, cts: dict):
         job = proc.engine.pack_job(state.dt, state.count, state.buf,
                                    proc.config.engine)
         for i, (lo, hi) in enumerate(ranges):
-            yield state.credits.acquire()
+            yield state.acquire_credit()
             slot = i % state.depth
             seg = mapped[slot * state.frag_bytes :][: hi - lo]
             # cross-process write fence before reusing the remote slot

@@ -26,6 +26,8 @@ from repro.mpi.message import ANY_SOURCE, ANY_TAG
 from repro.mpi.pml import irecv_coro, isend_coro, rts_handler
 from repro.mpi.proc import MpiProcess
 from repro.mpi.requests import Request
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.stats import WorldStats, classify_resource
 from repro.sim.core import Future, Process, all_of, any_of
 
 __all__ = ["MpiWorld", "RankContext"]
@@ -44,11 +46,16 @@ class MpiWorld:
         self.sim = cluster.sim
         self.config = config or MpiConfig()
         self.bml = Bml()
+        #: world-wide metrics store; ranks get ``r<rank>.``-scoped views
+        self.metrics = MetricsRegistry()
         self.procs: list[MpiProcess] = []
         for rank, (node_i, gpu_i) in enumerate(placements):
             node = cluster.nodes[node_i]
             gpu = node.gpus[gpu_i] if gpu_i is not None else None
-            proc = MpiProcess(rank, node, gpu, self.config)
+            proc = MpiProcess(
+                rank, node, gpu, self.config,
+                metrics=self.metrics.scoped(f"r{rank}."),
+            )
             proc.register_handler("pml.rts", rts_handler(self, proc))
             self.procs.append(proc)
         self._barrier_waiters: list[Future] = []
@@ -85,6 +92,52 @@ class MpiWorld:
         done = all_of(self.sim, procs, label="world.run")
         self.sim.run_until_complete(done, limit=limit)
         return self.sim.now - t0
+
+    # -- observability ---------------------------------------------------------
+    def stats(self) -> WorldStats:
+        """One uniform stats object for everything the world has done.
+
+        Aggregates every rank's transfer log, the GPU datatype engines'
+        counters (including the device caches), and — when the cluster
+        was built with ``trace=True`` — per-resource busy times plus the
+        pack/wire overlap the paper's pipelining argument rests on.
+        """
+        ws = WorldStats()
+        for proc in self.procs:
+            for t in proc.transfer_log:
+                ws.transfers.append(t)
+                key = t.protocol or "unknown"
+                ws.by_protocol[key] = ws.by_protocol.get(key, 0) + 1
+                if t.mode:
+                    mkey = f"{key}.{t.mode}"
+                    ws.by_mode[mkey] = ws.by_mode.get(mkey, 0) + 1
+            if proc._engine is not None:
+                ws.engine = ws.engine.merged(proc._engine.stats())
+        tracer = self.cluster.tracer
+        if tracer:
+            groups: dict[str, list[str]] = {}
+            for name in tracer.resources():
+                ws.resource_busy_s[name] = tracer.busy_time(name)
+                groups.setdefault(classify_resource(name), []).append(name)
+            ws.pack_busy_s = tracer.busy_time_group(groups.get("pack", []))
+            ws.wire_busy_s = tracer.busy_time_group(groups.get("wire", []))
+            ws.pcie_busy_s = tracer.busy_time_group(groups.get("pcie", []))
+            ws.pack_wire_overlap_s = tracer.overlap_time_group(
+                groups.get("pack", []), groups.get("wire", [])
+            )
+        ws.metrics = self.metrics.snapshot()
+        return ws
+
+    def reset_stats(self) -> None:
+        """Forget everything observed so far (e.g. after warmup rounds)."""
+        for proc in self.procs:
+            proc.transfer_log.clear()
+            if proc._engine is not None:
+                proc._engine.reset_counters()
+        self.metrics.reset()
+        tracer = self.cluster.tracer
+        if tracer:
+            tracer.clear()
 
     # -- naive barrier (no wire cost; for test scaffolding) ----------------------
     def _barrier(self, _rank: int) -> Future:

@@ -1,0 +1,42 @@
+"""Observability substrate: metrics registry and structured stats records.
+
+``repro.obs`` is the one place every layer reports into:
+
+* :mod:`repro.obs.metrics` — counters, gauges, histograms and timers,
+  grouped in a :class:`MetricsRegistry` that supports prefix scoping so
+  each rank/engine/cache namespaces its instruments without string
+  plumbing at every call site;
+* :mod:`repro.obs.stats` — structured records (:class:`TransferStats`,
+  :class:`CacheStats`, :class:`EngineStats`, :class:`WorldStats`) that
+  benchmarks consume instead of reaching into protocol internals.
+
+See ``docs/OBSERVABILITY.md`` for the full tour.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+)
+from repro.obs.stats import (
+    CacheStats,
+    EngineStats,
+    TransferStats,
+    WorldStats,
+    classify_resource,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "MetricsRegistry",
+    "TransferStats",
+    "CacheStats",
+    "EngineStats",
+    "WorldStats",
+    "classify_resource",
+]

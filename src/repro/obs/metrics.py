@@ -1,0 +1,245 @@
+"""A small in-process metrics registry (counters, gauges, histograms, timers).
+
+Instruments are plain Python objects updated synchronously on the
+simulated clock's thread — no locks, no sampling.  A
+:class:`MetricsRegistry` maps dotted names to instruments and supports
+*scoping*: ``registry.scoped("r0.engine.")`` returns a view sharing the
+same store whose instruments are created under the prefix, so each
+rank/engine/cache namespaces its metrics without threading strings
+through every call site.
+
+``snapshot()`` flattens everything to a JSON-friendly dict; the
+Chrome-trace exporter (:func:`repro.sim.trace.save_chrome_trace`) embeds
+that snapshot next to the timeline so one file carries both views.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Union
+
+__all__ = ["Counter", "Gauge", "Histogram", "Timer", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing count (events, bytes, hits...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: Union[int, float] = 1) -> None:
+        """Add ``n`` (must be non-negative) to the count."""
+        if n < 0:
+            raise ValueError(f"counter {self.name!r}: negative increment {n}")
+        self.value += n
+
+    def reset(self) -> None:
+        """Zero the count."""
+        self.value = 0
+
+    def snapshot(self):
+        """The count as a plain value."""
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A point-in-time level (fragments in flight, bytes cached...).
+
+    Tracks the high-water mark alongside the current value — pipelines
+    are judged by their peak occupancy, not their final (drained) state.
+    """
+
+    __slots__ = ("name", "value", "max_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+        self.max_value = 0
+
+    def set(self, v: Union[int, float]) -> None:
+        """Set the level (updates the high-water mark)."""
+        self.value = v
+        if v > self.max_value:
+            self.max_value = v
+
+    def inc(self, n: Union[int, float] = 1) -> None:
+        """Raise the level by ``n``."""
+        self.set(self.value + n)
+
+    def dec(self, n: Union[int, float] = 1) -> None:
+        """Lower the level by ``n`` (the high-water mark stays)."""
+        self.value -= n
+
+    def reset(self) -> None:
+        """Zero the level and its high-water mark."""
+        self.value = 0
+        self.max_value = 0
+
+    def snapshot(self):
+        """Current level and high-water mark as a plain dict."""
+        return {"value": self.value, "max": self.max_value}
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value}, max={self.max_value})"
+
+
+class Histogram:
+    """Streaming distribution summary: count/sum/min/max/mean.
+
+    Deliberately bucket-free — the simulator is deterministic, so tests
+    want exact moments, and the trace exporter wants a compact record.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, v: float) -> None:
+        """Record one sample."""
+        self.count += 1
+        self.total += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        """Forget every sample."""
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def snapshot(self):
+        """The summary moments as a plain dict."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean,
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}, n={self.count}, mean={self.mean:g})"
+
+
+class Timer(Histogram):
+    """A histogram of durations in (simulated) seconds.
+
+    The simulator's clock is explicit, so a timer is fed measured
+    intervals rather than wrapping wall-clock calls:
+
+    >>> t0 = sim.now
+    >>> ...  # doctest: +SKIP
+    >>> timer.observe(sim.now - t0)  # doctest: +SKIP
+    """
+
+    __slots__ = ()
+
+    @property
+    def seconds(self) -> float:
+        """Total observed time — the usual aggregation for busy timers."""
+        return self.total
+
+
+_KINDS = {
+    "counter": Counter,
+    "gauge": Gauge,
+    "histogram": Histogram,
+    "timer": Timer,
+}
+
+
+class MetricsRegistry:
+    """Dotted-name registry of instruments with prefix scoping.
+
+    All scoped views share one store, so a single ``snapshot()`` on the
+    root sees every instrument in the system.
+    """
+
+    def __init__(
+        self,
+        prefix: str = "",
+        _store: Optional[dict] = None,
+    ) -> None:
+        self.prefix = prefix
+        self._store: dict[str, object] = _store if _store is not None else {}
+
+    # -- instrument accessors (get-or-create) --------------------------------
+    def _get(self, kind: str, name: str):
+        cls = _KINDS[kind]
+        full = self.prefix + name
+        inst = self._store.get(full)
+        if inst is None:
+            inst = cls(full)
+            self._store[full] = inst
+        elif type(inst) is not cls:
+            raise TypeError(
+                f"metric {full!r} already registered as "
+                f"{type(inst).__name__}, requested {cls.__name__}"
+            )
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        """Get or create a :class:`Counter` under this scope."""
+        return self._get("counter", name)
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create a :class:`Gauge` under this scope."""
+        return self._get("gauge", name)
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create a :class:`Histogram` under this scope."""
+        return self._get("histogram", name)
+
+    def timer(self, name: str) -> Timer:
+        """Get or create a :class:`Timer` under this scope."""
+        return self._get("timer", name)
+
+    # -- scoping -------------------------------------------------------------
+    def scoped(self, prefix: str) -> "MetricsRegistry":
+        """A view creating instruments under ``self.prefix + prefix``."""
+        return MetricsRegistry(self.prefix + prefix, _store=self._store)
+
+    # -- inspection ----------------------------------------------------------
+    def names(self) -> list[str]:
+        """Full names under this scope, sorted."""
+        return sorted(n for n in self._store if n.startswith(self.prefix))
+
+    def get(self, name: str):
+        """The instrument registered under ``self.prefix + name``, or None."""
+        return self._store.get(self.prefix + name)
+
+    def snapshot(self) -> dict:
+        """Flatten every instrument under this scope to plain values."""
+        return {
+            n: self._store[n].snapshot()  # type: ignore[attr-defined]
+            for n in self.names()
+        }
+
+    def reset(self) -> None:
+        """Zero every instrument under this scope (instruments persist)."""
+        for n in self.names():
+            self._store[n].reset()  # type: ignore[attr-defined]
+
+    def __len__(self) -> int:
+        return len(self.names())
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry(prefix={self.prefix!r}, {len(self)} metrics)"

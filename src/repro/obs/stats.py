@@ -1,0 +1,263 @@
+"""Structured stats records: the uniform objects benchmarks consume.
+
+Each layer fills its own record:
+
+* :class:`TransferStats` — one point-to-point transfer (either side),
+  appended to ``MpiProcess.transfer_log`` by the PML when the protocol
+  coroutine finishes;
+* :class:`CacheStats` — a :class:`repro.gpu_engine.cache.DevCache`
+  snapshot with *consistent* hit/byte accounting;
+* :class:`EngineStats` — a GPU datatype engine's prep/kernel/byte totals;
+* :class:`WorldStats` — the roll-up ``MpiWorld.stats()`` returns: every
+  transfer record, aggregated cache/engine numbers, per-resource busy
+  time and the pack/wire overlap read off the cluster tracer.
+
+Nothing here imports the MPI stack — records are plain data, assembled
+by the layer that owns the underlying objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Optional
+
+__all__ = [
+    "TransferStats",
+    "CacheStats",
+    "EngineStats",
+    "WorldStats",
+    "classify_resource",
+]
+
+
+@dataclass
+class TransferStats:
+    """One side of one point-to-point transfer, as the PML saw it."""
+
+    tid: str
+    role: str  # "send" | "recv"
+    rank: int = -1
+    peer: int = -1
+    protocol: str = ""  # "eager" | "host" | "ipc_rdma" | "copyinout"
+    mode: str = ""  # ipc_rdma mode: general/send_contig/recv_contig/...
+    total_bytes: int = 0
+    frag_bytes: int = 0
+    fragments: int = 0
+    #: time this side spent blocked waiting for a pipeline credit
+    credit_wait_s: float = 0.0
+    #: peak number of fragments simultaneously in flight on this side
+    max_in_flight: int = 0
+    start_s: float = -1.0
+    end_s: float = -1.0
+
+    @property
+    def duration_s(self) -> float:
+        return max(0.0, self.end_s - self.start_s)
+
+    @property
+    def bandwidth(self) -> float:
+        """Effective bytes/second over the transfer's lifetime."""
+        d = self.duration_s
+        return self.total_bytes / d if d > 0 else 0.0
+
+    def is_complete(self) -> bool:
+        """True when every field a finished transfer must report is set."""
+        return (
+            bool(self.protocol)
+            and self.role in ("send", "recv")
+            and self.rank >= 0
+            and self.peer >= 0
+            and self.total_bytes > 0
+            and self.fragments >= 1
+            and 0.0 <= self.start_s <= self.end_s
+        )
+
+    def to_dict(self) -> dict:
+        """The record as a JSON-friendly dict."""
+        return asdict(self)
+
+
+@dataclass
+class CacheStats:
+    """DevCache accounting snapshot (hit/miss/eviction/bytes)."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    rejected_oversized: int = 0
+    entries: int = 0
+    bytes_cached: int = 0
+    bytes_evicted: int = 0
+    budget_bytes: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits / lookups, 0.0 when the cache was never consulted."""
+        n = self.lookups
+        return self.hits / n if n else 0.0
+
+    def merged(self, other: "CacheStats") -> "CacheStats":
+        """Element-wise sum (budget summed too: total reserved memory)."""
+        return CacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            insertions=self.insertions + other.insertions,
+            evictions=self.evictions + other.evictions,
+            rejected_oversized=self.rejected_oversized + other.rejected_oversized,
+            entries=self.entries + other.entries,
+            bytes_cached=self.bytes_cached + other.bytes_cached,
+            bytes_evicted=self.bytes_evicted + other.bytes_evicted,
+            budget_bytes=self.budget_bytes + other.budget_bytes,
+        )
+
+    def to_dict(self) -> dict:
+        """The record plus the derived hit rate, JSON-friendly."""
+        d = asdict(self)
+        d["hit_rate"] = self.hit_rate
+        return d
+
+
+@dataclass
+class EngineStats:
+    """GPU datatype engine totals: the two pipeline stages plus the cache."""
+
+    jobs: int = 0
+    fragments: int = 0
+    prep_s: float = 0.0
+    kernel_s: float = 0.0
+    bytes_packed: int = 0
+    cache: CacheStats = field(default_factory=CacheStats)
+
+    def merged(self, other: "EngineStats") -> "EngineStats":
+        """Element-wise sum of two engines' totals (caches included)."""
+        return EngineStats(
+            jobs=self.jobs + other.jobs,
+            fragments=self.fragments + other.fragments,
+            prep_s=self.prep_s + other.prep_s,
+            kernel_s=self.kernel_s + other.kernel_s,
+            bytes_packed=self.bytes_packed + other.bytes_packed,
+            cache=self.cache.merged(other.cache),
+        )
+
+    def to_dict(self) -> dict:
+        """The record (cache expanded) as a JSON-friendly dict."""
+        d = asdict(self)
+        d["cache"] = self.cache.to_dict()
+        return d
+
+
+def classify_resource(name: str) -> str:
+    """Bucket a tracer resource name into a pipeline stage.
+
+    * ``pack`` — GPU datatype-engine streams and the host CPU pack engine;
+    * ``wire`` — the links a message rides between ranks: InfiniBand,
+      PCIe peer-to-peer, the shared-memory segment;
+    * ``pcie`` — host/device staging directions (H2D / D2H);
+    * ``prep`` — the CPU CUDA_DEV preparation engine;
+    * ``other`` — everything else (copy engines, memcpy queues...).
+    """
+    if ".dtengine" in name or name.endswith(".cpu_pack"):
+        return "pack"
+    if name.startswith("ib.") or ".pcie.p2p." in name or name.endswith(".shmem"):
+        return "wire"
+    if ".pcie.h2d." in name or ".pcie.d2h." in name:
+        return "pcie"
+    if name.endswith(".cpu_prep"):
+        return "prep"
+    return "other"
+
+
+@dataclass
+class WorldStats:
+    """Everything ``MpiWorld.stats()`` rolls up for one run window."""
+
+    transfers: list[TransferStats] = field(default_factory=list)
+    by_protocol: dict = field(default_factory=dict)
+    by_mode: dict = field(default_factory=dict)
+    engine: EngineStats = field(default_factory=EngineStats)
+    #: tracer-derived busy time per resource name (empty without tracing)
+    resource_busy_s: dict = field(default_factory=dict)
+    pack_busy_s: float = 0.0
+    wire_busy_s: float = 0.0
+    pcie_busy_s: float = 0.0
+    pack_wire_overlap_s: float = 0.0
+    #: flat snapshot of the world's metrics registry
+    metrics: dict = field(default_factory=dict)
+
+    @property
+    def cache(self) -> CacheStats:
+        return self.engine.cache
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.engine.cache.hit_rate
+
+    @property
+    def pack_wire_overlap_fraction(self) -> float:
+        """How much of the pack time hid under the wire time (0..1)."""
+        if self.pack_busy_s <= 0.0:
+            return 0.0
+        return min(1.0, self.pack_wire_overlap_s / self.pack_busy_s)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(t.total_bytes for t in self.transfers if t.role == "send")
+
+    @property
+    def credit_wait_s(self) -> float:
+        return sum(t.credit_wait_s for t in self.transfers)
+
+    def busy_by_stage(self) -> dict:
+        """Busy time aggregated by :func:`classify_resource` stage."""
+        out: dict[str, float] = {}
+        for name, busy in self.resource_busy_s.items():
+            out[classify_resource(name)] = out.get(
+                classify_resource(name), 0.0
+            ) + busy
+        return out
+
+    def is_complete(self) -> bool:
+        """True when every transfer record is fully populated."""
+        return bool(self.transfers) and all(
+            t.is_complete() for t in self.transfers
+        )
+
+    def to_dict(self) -> dict:
+        """The whole roll-up, derived ratios included, JSON-friendly."""
+        return {
+            "transfers": [t.to_dict() for t in self.transfers],
+            "by_protocol": dict(self.by_protocol),
+            "by_mode": dict(self.by_mode),
+            "engine": self.engine.to_dict(),
+            "cache_hit_rate": self.cache_hit_rate,
+            "resource_busy_s": dict(self.resource_busy_s),
+            "pack_busy_s": self.pack_busy_s,
+            "wire_busy_s": self.wire_busy_s,
+            "pcie_busy_s": self.pcie_busy_s,
+            "pack_wire_overlap_s": self.pack_wire_overlap_s,
+            "pack_wire_overlap_fraction": self.pack_wire_overlap_fraction,
+            "credit_wait_s": self.credit_wait_s,
+            "metrics": dict(self.metrics),
+        }
+
+    def summary(self) -> str:
+        """A compact human-readable report (used by ``--smoke``)."""
+        lines = [
+            f"transfers: {len(self.transfers)} "
+            f"({sum(1 for t in self.transfers if t.role == 'send')} sends, "
+            f"{self.total_bytes} bytes)",
+            f"protocols: {dict(sorted(self.by_protocol.items()))}",
+            f"cache: {self.engine.cache.hits} hits / "
+            f"{self.engine.cache.lookups} lookups "
+            f"(rate {self.cache_hit_rate:.2f})",
+            f"pack busy {self.pack_busy_s * 1e6:.1f}us, "
+            f"wire busy {self.wire_busy_s * 1e6:.1f}us, "
+            f"overlap {self.pack_wire_overlap_fraction:.2f}",
+            f"credit wait {self.credit_wait_s * 1e6:.1f}us",
+        ]
+        return "\n".join(lines)

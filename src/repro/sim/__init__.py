@@ -19,7 +19,7 @@ from repro.sim.core import (
     any_of,
 )
 from repro.sim.resources import FifoLink, Mailbox, Resource, Semaphore
-from repro.sim.trace import Span, Tracer
+from repro.sim.trace import NullTracer, Span, Tracer
 
 __all__ = [
     "Future",
@@ -35,4 +35,5 @@ __all__ = [
     "Semaphore",
     "Span",
     "Tracer",
+    "NullTracer",
 ]

@@ -76,7 +76,7 @@ class FifoLink:
         arrival = end + self.latency
         self.bytes_transferred += nbytes
         self.transfers += 1
-        if self.tracer is not None:
+        if self.tracer:
             self.tracer.record(self.name, start, end, label or "xfer", nbytes)
         fut = Future(self.sim, label=label or f"{self.name}:{nbytes}B")
         self.sim.call_at(arrival, lambda: fut.resolve(payload))
@@ -96,7 +96,7 @@ class FifoLink:
         if t > self._busy_until:
             self._busy_until = t
         self.bytes_transferred += nbytes
-        if self.tracer is not None and t > start:
+        if self.tracer and t > start:
             self.tracer.record(self.name, start, t, label or "co-occupy", nbytes)
 
 

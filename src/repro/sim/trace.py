@@ -10,9 +10,9 @@ overlap the link's transfer spans.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Optional
 
-__all__ = ["Span", "Tracer"]
+__all__ = ["Span", "Tracer", "NullTracer"]
 
 
 @dataclass(frozen=True)
@@ -35,10 +35,22 @@ class Span:
 
 
 class Tracer:
-    """Accumulates spans; cheap no-op friendly (pass ``None`` to disable)."""
+    """Accumulates spans.
+
+    To disable tracing use :class:`NullTracer` — the same interface with
+    every method a no-op — so call sites never have to guard; code that
+    wants to skip work when tracing is off can test truthiness
+    (``if tracer: ...``), which also accepts a legacy ``None``.
+    """
+
+    #: real tracers record; :class:`NullTracer` overrides this to False
+    enabled = True
 
     def __init__(self) -> None:
         self.spans: list[Span] = []
+
+    def __bool__(self) -> bool:
+        return self.enabled
 
     def record(
         self, resource: str, start: float, end: float, label: str, nbytes: int = 0
@@ -76,6 +88,54 @@ class Tracer:
         if not self.spans:
             return 0.0
         return max(s.end for s in self.spans) - min(s.start for s in self.spans)
+
+    # -- resource groups (overlap-factor helpers) ----------------------------
+    def group_intervals(
+        self, resources: Iterable[str]
+    ) -> list[tuple[float, float]]:
+        """Merged busy intervals over the union of several resources."""
+        names = set(resources)
+        return merge_intervals(
+            (s.start, s.end) for s in self.spans if s.resource in names
+        )
+
+    def busy_time_group(self, resources: Iterable[str]) -> float:
+        """Union busy time of a set of resources (overlaps merged)."""
+        return sum(hi - lo for lo, hi in self.group_intervals(resources))
+
+    def overlap_time_group(
+        self, resources_a: Iterable[str], resources_b: Iterable[str]
+    ) -> float:
+        """Time during which both resource *groups* were busy at once."""
+        return _intersection_length(
+            self.group_intervals(resources_a), self.group_intervals(resources_b)
+        )
+
+    def overlap_fraction(self, resource_a: str, resource_b: str) -> float:
+        """Overlap as a fraction of ``resource_a``'s busy time (0..1)."""
+        busy = self.busy_time(resource_a)
+        if busy <= 0.0:
+            return 0.0
+        return min(1.0, self.overlap_time(resource_a, resource_b) / busy)
+
+
+class NullTracer(Tracer):
+    """The promised no-op tracer: same interface, records nothing.
+
+    Every query answers as an empty trace would; :meth:`record` discards
+    its span.  ``bool(NullTracer())`` is False so hot paths can skip even
+    the argument evaluation of a ``record`` call.
+    """
+
+    enabled = False
+
+    def record(
+        self, resource: str, start: float, end: float, label: str, nbytes: int = 0
+    ) -> None:
+        """Discard the span (no-op)."""
+
+    def __repr__(self) -> str:
+        return "NullTracer()"
 
 
 def merge_intervals(
@@ -129,6 +189,10 @@ def to_chrome_trace(tracer: Tracer) -> list[dict]:
     with microsecond timestamps.  Load the saved file in Chrome's tracer
     or Perfetto to see exactly how a protocol pipelined.
     """
+    return _chrome_events(tracer)
+
+
+def _chrome_events(tracer: Tracer) -> list[dict]:
     tids = {name: i for i, name in enumerate(tracer.resources())}
     events: list[dict] = [
         {
@@ -160,9 +224,33 @@ def to_chrome_trace(tracer: Tracer) -> list[dict]:
     return events
 
 
-def save_chrome_trace(tracer: Tracer, path: str) -> None:
-    """Write a ``chrome://tracing``-loadable JSON file."""
+def save_chrome_trace(tracer: Tracer, path: str, metrics=None) -> None:
+    """Write a ``chrome://tracing``/Perfetto-loadable JSON file.
+
+    ``metrics`` may be a :class:`repro.obs.metrics.MetricsRegistry` (its
+    snapshot is embedded), an already-flat snapshot dict, or an object
+    with a ``to_dict``/``snapshot`` method (e.g. a
+    :class:`repro.obs.stats.WorldStats`).  Perfetto ignores unknown
+    top-level keys, so the file stays loadable while carrying the metric
+    snapshot next to the timeline.
+    """
     import json
 
+    doc: dict = {"traceEvents": to_chrome_trace(tracer)}
+    if metrics is not None:
+        for attr in ("snapshot", "to_dict"):
+            fn = getattr(metrics, attr, None)
+            if callable(fn):
+                metrics = fn()
+                break
+        doc["metrics"] = metrics
     with open(path, "w") as f:
-        json.dump({"traceEvents": to_chrome_trace(tracer)}, f)
+        json.dump(doc, f)
+
+
+def load_chrome_trace(path: str) -> dict:
+    """Read back a file written by :func:`save_chrome_trace`."""
+    import json
+
+    with open(path) as f:
+        return json.load(f)

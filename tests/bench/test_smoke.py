@@ -1,0 +1,27 @@
+"""The observability smoke check, run as part of the suite."""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.bench.smoke import SMOKE_CASES, run_smoke
+
+
+def test_smoke_all_protocols(tmp_path):
+    assert run_smoke(trace_dir=str(tmp_path), verbose=False) == 0
+    for kind, _proto in SMOKE_CASES:
+        path = tmp_path / f"smoke-{kind}.trace.json"
+        assert path.exists()
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+        assert doc["metrics"]["transfers"]
+
+
+def test_smoke_cli_entry(tmp_path, capsys):
+    from repro.bench.__main__ import main
+
+    assert main(["--smoke", "--trace-out", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "smoke: all protocols OK" in out
+    assert os.listdir(tmp_path)

@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.datatype.ddt import indexed
 from repro.datatype.primitives import DOUBLE
@@ -47,14 +49,22 @@ class TestDevCache:
         assert a is b and gpu.memory.bytes_in_use == before
 
     def test_lru_eviction_frees_memory(self, gpu):
+        # budget admits either descriptor alone (9216 B / 12384 B) but
+        # not both, so the second put must evict the first
         dt_a, dt_b = tri(256), tri(300)
-        need = 0
-        cache = DevCache(gpu, budget_bytes=8 * 1024)
+        cache = DevCache(gpu, budget_bytes=14 * 1024)
+        before = gpu.memory.bytes_in_use
         cache.put(dt_a, 1, 1024)
         used_after_a = cache.bytes_cached
-        cache.put(dt_b, 1, 1024)  # should evict A (budget is tiny)
-        assert cache.get(dt_a, 1, 1024) is None or cache.bytes_cached <= 8 * 1024
-        assert len(cache) >= 1
+        assert used_after_a > 0
+        cache.put(dt_b, 1, 1024)  # evicts A
+        assert cache.evictions == 1
+        assert len(cache) == 1
+        assert cache.bytes_cached <= 14 * 1024
+        assert cache.resident_bytes == cache.bytes_cached
+        # A's device memory was actually freed
+        assert gpu.memory.bytes_in_use <= before + 14 * 1024
+        assert cache.get(dt_a, 1, 1024) is None
 
     def test_precomputed_units_accepted(self, gpu):
         from repro.gpu_engine.dev import to_devs
@@ -64,3 +74,90 @@ class TestDevCache:
         units = split_units(to_devs(dt, 1), 4096)
         cache = DevCache(gpu)
         assert cache.put(dt, 1, 4096, units=units) is units
+
+
+class TestCacheAccounting:
+    """Regression tests for the bytes_cached bookkeeping bugs."""
+
+    def test_oversized_entry_refused_uncached(self, gpu):
+        # an entry larger than the whole budget used to be inserted
+        # *uncharged*; a later eviction then drove bytes_cached negative
+        dt = tri(300)  # 12384 B descriptor
+        cache = DevCache(gpu, budget_bytes=4 * 1024)
+        units = cache.put(dt, 1, 1024)
+        assert units is not None  # caller still gets its work units
+        assert len(cache) == 0 and cache.bytes_cached == 0
+        assert cache.rejected_oversized == 1
+        assert cache.get(dt, 1, 1024) is None  # it was never resident
+
+    def test_oversized_then_churn_never_negative(self, gpu):
+        cache = DevCache(gpu, budget_bytes=14 * 1024)
+        cache.put(tri(300), 1, 1024)  # fits (12384 B)
+        cache.put(tri(512), 1, 1024)  # oversized: refused
+        cache.put(tri(256), 1, 1024)  # fits (9216 B) -> evicts tri(300)
+        assert 0 <= cache.bytes_cached <= cache.budget_bytes
+        assert cache.resident_bytes == cache.bytes_cached
+        assert cache.evictions == 1 and cache.rejected_oversized == 1
+
+    def test_put_on_resident_key_counts_hit(self, gpu):
+        # put() finding the key resident used to return the cached units
+        # without bumping the hit counter, skewing measured hit rates
+        cache = DevCache(gpu)
+        dt = tri(64)
+        first = cache.put(dt, 1, 4096)
+        assert cache.hits == 0  # fresh insert: not a lookup
+        again = cache.put(dt, 1, 4096)
+        assert again is first
+        assert cache.hits == 1 and cache.misses == 0
+
+    def test_stats_snapshot_consistent(self, gpu):
+        cache = DevCache(gpu, budget_bytes=14 * 1024)
+        dt = tri(64)
+        cache.get(dt, 1, 4096)  # miss
+        cache.put(dt, 1, 4096)
+        cache.put(dt, 1, 4096)  # hit
+        s = cache.stats()
+        assert s.hits == 1 and s.misses == 1 and s.insertions == 1
+        assert s.bytes_cached == cache.bytes_cached
+        assert s.budget_bytes == 14 * 1024
+        assert s.hit_rate == pytest.approx(0.5)
+
+    def test_invariant_raises_if_corrupted(self, gpu):
+        from repro.gpu_engine.cache import CacheInvariantError
+
+        cache = DevCache(gpu, budget_bytes=14 * 1024)
+        cache.put(tri(64), 1, 4096)
+        cache.bytes_cached = -1
+        with pytest.raises(CacheInvariantError):
+            cache._check_invariant()
+
+
+class TestCacheProperty:
+    """bytes_cached always equals the resident entries' footprint."""
+
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from([16, 24, 32, 48, 64, 128, 300]),
+                st.integers(min_value=1, max_value=3),
+            ),
+            min_size=1,
+            max_size=30,
+        ),
+        budget_kb=st.sampled_from([2, 8, 14, 64]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_accounting_matches_residency(self, ops, budget_kb):
+        from repro.hw.node import Cluster
+
+        gpu = Cluster(1, 1).nodes[0].gpus[0]
+        cache = DevCache(gpu, budget_bytes=budget_kb * 1024)
+        types = {}
+        for n, count in ops:
+            dt = types.setdefault(n, tri(n))
+            cache.put(dt, count, 4096)
+            assert 0 <= cache.bytes_cached <= cache.budget_bytes
+            assert cache.bytes_cached == cache.resident_bytes
+        # counters never go negative and lookups reconcile
+        assert cache.hits >= 0 and cache.misses >= 0
+        assert cache.evictions + len(cache) + cache.rejected_oversized <= len(ops) + len(cache)

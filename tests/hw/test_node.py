@@ -29,9 +29,16 @@ class TestClusterConstruction:
                     assert b.name in a.p2p_links
 
     def test_trace_flag(self):
+        from repro.sim.trace import NullTracer
+
         c = Cluster(1, 1, trace=True)
-        assert c.tracer is not None
-        assert Cluster(1, 1).tracer is None
+        assert c.tracer.enabled and bool(c.tracer)
+        off = Cluster(1, 1).tracer
+        assert isinstance(off, NullTracer)
+        assert not off.enabled and not bool(off)
+        # NullTracer answers every query like an empty trace
+        off.record("r", 0.0, 1.0, "x")
+        assert off.spans == [] and off.busy_time("r") == 0.0
 
 
 class TestCpuEngines:

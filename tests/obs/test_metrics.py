@@ -1,0 +1,64 @@
+"""Tests for the metrics registry primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, Timer
+
+
+class TestInstruments:
+    def test_counter(self):
+        c = Counter("n")
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_tracks_high_water(self):
+        g = Gauge("depth")
+        g.set(3)
+        g.inc()
+        g.dec(2)
+        assert g.value == 2 and g.max_value == 4
+
+    def test_histogram(self):
+        h = Histogram("lat")
+        for v in (1.0, 3.0, 2.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == pytest.approx(6.0)
+        assert h.min == 1.0 and h.max == 3.0
+        assert h.mean == pytest.approx(2.0)
+
+    def test_timer_is_histogram_of_seconds(self):
+        t = Timer("busy")
+        t.observe(0.5)
+        t.observe(0.25)
+        assert t.seconds == pytest.approx(0.75)
+
+
+class TestRegistry:
+    def test_get_or_create(self):
+        r = MetricsRegistry()
+        assert r.counter("x") is r.counter("x")
+        with pytest.raises(TypeError):
+            r.gauge("x")  # same name, different kind
+
+    def test_scoped_shares_store(self):
+        root = MetricsRegistry()
+        a = root.scoped("r0.").scoped("engine.")
+        a.counter("jobs").inc()
+        assert root.get("r0.engine.jobs").value == 1
+        assert "r0.engine.jobs" in root.names()
+
+    def test_snapshot_and_reset(self):
+        r = MetricsRegistry()
+        r.counter("a").inc(2)
+        r.timer("t").observe(1.5)
+        snap = r.snapshot()
+        assert snap["a"] == 2
+        assert snap["t"]["sum"] == pytest.approx(1.5)
+        r.reset()
+        assert r.counter("a").value == 0

@@ -1,0 +1,99 @@
+"""Tests for the structured stats records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.stats import (
+    CacheStats,
+    EngineStats,
+    TransferStats,
+    WorldStats,
+    classify_resource,
+)
+
+
+class TestTransferStats:
+    def test_completeness_gate(self):
+        t = TransferStats(tid="0.0", role="send")
+        assert not t.is_complete()
+        t.rank, t.peer, t.protocol = 0, 1, "host"
+        t.total_bytes, t.fragments = 1024, 2
+        t.start_s, t.end_s = 0.0, 1.0
+        assert t.is_complete()
+
+    def test_bandwidth(self):
+        t = TransferStats(
+            tid="x", role="send", total_bytes=1000, start_s=0.0, end_s=0.5
+        )
+        assert t.bandwidth == pytest.approx(2000.0)
+
+
+class TestCacheStats:
+    def test_hit_rate_no_lookups(self):
+        assert CacheStats().hit_rate == 0.0
+
+    def test_merge(self):
+        a = CacheStats(hits=1, misses=2, bytes_cached=10, budget_bytes=100)
+        b = CacheStats(hits=3, misses=0, bytes_cached=5, budget_bytes=100)
+        m = a.merged(b)
+        assert m.hits == 4 and m.lookups == 6
+        assert m.bytes_cached == 15 and m.budget_bytes == 200
+
+
+class TestClassifyResource:
+    @pytest.mark.parametrize(
+        "name,stage",
+        [
+            ("node0.gpu0.dtengine.r0", "pack"),
+            ("node0.cpu_pack", "pack"),
+            ("ib.node0->node1", "wire"),
+            ("node0.pcie.p2p.gpu0->gpu1", "wire"),
+            ("node0.shmem", "wire"),
+            ("node0.pcie.h2d.gpu0", "pcie"),
+            ("node0.pcie.d2h.gpu0", "pcie"),
+            ("node0.cpu_prep", "prep"),
+            ("node0.gpu0.ce", "other"),
+        ],
+    )
+    def test_stages(self, name, stage):
+        assert classify_resource(name) == stage
+
+
+class TestWorldStats:
+    def _ws(self):
+        ws = WorldStats()
+        ws.transfers.append(
+            TransferStats(
+                tid="0.0", role="send", rank=0, peer=1, protocol="host",
+                total_bytes=100, fragments=1, start_s=0.0, end_s=1.0,
+                credit_wait_s=0.25,
+            )
+        )
+        ws.engine = EngineStats(cache=CacheStats(hits=3, misses=1))
+        ws.pack_busy_s = 2.0
+        ws.pack_wire_overlap_s = 1.0
+        return ws
+
+    def test_rollups(self):
+        ws = self._ws()
+        assert ws.cache_hit_rate == pytest.approx(0.75)
+        assert ws.pack_wire_overlap_fraction == pytest.approx(0.5)
+        assert ws.total_bytes == 100
+        assert ws.credit_wait_s == pytest.approx(0.25)
+        assert ws.is_complete()
+
+    def test_overlap_fraction_clamped(self):
+        ws = WorldStats(pack_busy_s=1.0, pack_wire_overlap_s=5.0)
+        assert ws.pack_wire_overlap_fraction == 1.0
+        assert WorldStats().pack_wire_overlap_fraction == 0.0
+
+    def test_to_dict_json_friendly(self):
+        import json
+
+        doc = json.dumps(self._ws().to_dict())
+        assert "pack_wire_overlap_fraction" in doc
+
+    def test_summary_text(self):
+        s = self._ws().summary()
+        assert "transfers: 1" in s and "rate 0.75" in s

@@ -88,3 +88,122 @@ class TestTracer:
         t.record("a", 0, 1, "x")
         t.clear()
         assert not t.spans
+
+
+class TestNullTracer:
+    def test_record_is_noop(self):
+        from repro.sim.trace import NullTracer
+
+        t = NullTracer()
+        t.record("gpu", 0.0, 1.0, "k", nbytes=64)
+        assert t.spans == []
+        assert t.busy_time("gpu") == 0.0
+        assert t.resources() == []
+
+    def test_falsy_but_still_a_tracer(self):
+        from repro.sim.trace import NullTracer
+
+        t = NullTracer()
+        assert not t and not t.enabled
+        assert isinstance(t, Tracer)  # call sites need no isinstance checks
+
+    def test_real_tracer_truthy(self):
+        assert Tracer().enabled and bool(Tracer())
+
+
+class TestGroupHelpers:
+    def _tracer(self):
+        t = Tracer()
+        t.record("gpu0.dtengine.r0", 0.0, 4.0, "pack")
+        t.record("gpu1.dtengine.r1", 3.0, 5.0, "pack")
+        t.record("ib.node0->node1", 2.0, 6.0, "wire")
+        return t
+
+    def test_busy_time_group_unions(self):
+        t = self._tracer()
+        both = t.busy_time_group(["gpu0.dtengine.r0", "gpu1.dtengine.r1"])
+        assert both == pytest.approx(5.0)  # [0,4] U [3,5]
+
+    def test_overlap_time_group(self):
+        t = self._tracer()
+        ov = t.overlap_time_group(
+            ["gpu0.dtengine.r0", "gpu1.dtengine.r1"], ["ib.node0->node1"]
+        )
+        assert ov == pytest.approx(3.0)  # [0,5] ^ [2,6]
+
+    def test_overlap_fraction(self):
+        t = Tracer()
+        t.record("a", 0.0, 4.0, "x")
+        t.record("b", 2.0, 10.0, "y")
+        assert t.overlap_fraction("a", "b") == pytest.approx(0.5)
+        assert t.overlap_fraction("missing", "b") == 0.0
+
+    def test_empty_groups(self):
+        t = self._tracer()
+        assert t.busy_time_group([]) == 0.0
+        assert t.overlap_time_group([], ["ib.node0->node1"]) == 0.0
+
+
+spans_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["a", "b"]),
+        st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    ),
+    min_size=0,
+    max_size=25,
+)
+
+
+class TestOverlapProperties:
+    @given(spans=spans_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_overlap_symmetric_and_bounded(self, spans):
+        t = Tracer()
+        for res, start, dur in spans:
+            t.record(res, start, start + dur, "x")
+        ab = t.overlap_time("a", "b")
+        ba = t.overlap_time("b", "a")
+        assert ab == pytest.approx(ba)
+        assert ab <= t.busy_time("a") + 1e-9
+        assert ab <= t.busy_time("b") + 1e-9
+        assert ab >= 0.0
+
+    @given(spans=spans_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_group_matches_single_resource(self, spans):
+        t = Tracer()
+        for res, start, dur in spans:
+            t.record(res, start, start + dur, "x")
+        assert t.busy_time_group(["a"]) == pytest.approx(t.busy_time("a"))
+        assert t.overlap_time_group(["a"], ["b"]) == pytest.approx(
+            t.overlap_time("a", "b")
+        )
+
+
+class TestChromeExport:
+    def test_save_and_load_roundtrip(self, tmp_path):
+        from repro.sim.trace import load_chrome_trace, save_chrome_trace
+
+        t = Tracer()
+        t.record("gpu", 0.0, 1.5e-6, "kernel", nbytes=4096)
+        t.record("ib.a->b", 1e-6, 3e-6, "frag")
+        path = str(tmp_path / "trace.json")
+        save_chrome_trace(t, path, metrics={"counters": {"x": 1}})
+        doc = load_chrome_trace(path)
+        assert len(doc["traceEvents"]) >= 2
+        assert doc["metrics"] == {"counters": {"x": 1}}
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert "kernel" in names and "frag" in names
+
+    def test_null_tracer_exports_empty(self, tmp_path):
+        from repro.sim.trace import (
+            NullTracer,
+            load_chrome_trace,
+            save_chrome_trace,
+        )
+
+        path = str(tmp_path / "empty.json")
+        save_chrome_trace(NullTracer(), path)
+        doc = load_chrome_trace(path)
+        assert doc["traceEvents"] == []
