@@ -46,12 +46,30 @@ def main(argv=None) -> int:
         help="with --smoke: directory to keep the Chrome/Perfetto "
         "trace JSON files in (default: a temporary directory)",
     )
+    parser.add_argument(
+        "--faults",
+        metavar="SPEC",
+        nargs="?",
+        const="",
+        default=None,
+        help="with --smoke: run the chaos leg instead — inject "
+        "seeded faults (drop/dup/delay/ipc-open/staging) and assert "
+        "byte-exact delivery; SPEC is 'key=value,...' overriding the "
+        "chaos defaults, e.g. 'seed=3,am_drop=0.2'",
+    )
     args = parser.parse_args(argv)
 
     if args.smoke:
+        if args.faults is not None:
+            from repro.bench.smoke import run_faults_smoke
+
+            return run_faults_smoke(args.faults)
         from repro.bench.smoke import run_smoke
 
         return run_smoke(trace_dir=args.trace_out)
+
+    if args.faults is not None:
+        parser.error("--faults requires --smoke")
 
     if args.list:
         for name in FIGURES:

@@ -21,14 +21,26 @@ from __future__ import annotations
 
 import os
 import tempfile
+from dataclasses import replace
+
+import numpy as np
 
 from repro.bench.harness import make_env, matrix_buffers, pingpong_stats
+from repro.datatype.convertor import pack_bytes
+from repro.faults.plan import FaultSpec
 from repro.mpi.config import MpiConfig
 from repro.obs.stats import WorldStats
 from repro.sim.trace import load_chrome_trace, save_chrome_trace
 from repro.workloads.matrices import MatrixWorkload
 
-__all__ = ["SMOKE_CASES", "run_smoke", "smoke_one"]
+__all__ = [
+    "SMOKE_CASES",
+    "chaos_spec",
+    "faults_smoke_one",
+    "run_faults_smoke",
+    "run_smoke",
+    "smoke_one",
+]
 
 #: (environment kind, protocol the receiver must choose)
 SMOKE_CASES = [
@@ -84,6 +96,81 @@ def smoke_one(kind: str, expect_protocol: str, trace_path: str) -> WorldStats:
     if "metrics" not in doc:
         raise AssertionError(f"{kind}: exported trace lost the metric snapshot")
     return ws
+
+
+#: the --faults chaos profile: every fault kind armed, gently
+CHAOS_DEFAULTS = {
+    "am_drop": 0.05,
+    "am_dup": 0.05,
+    "am_delay": 0.10,
+    "ipc_open_fail": 0.20,
+    "staging_fail": 0.20,
+}
+
+
+def chaos_spec(text: str = "") -> FaultSpec:
+    """Build the chaos-smoke fault plan from a ``--faults`` argument.
+
+    Starts from :data:`CHAOS_DEFAULTS` (all fault kinds on); any
+    ``key=value`` the user supplies overrides the matching default, so
+    ``--faults seed=7`` reseeds the full chaos profile while
+    ``--faults am_drop=1.0,am_dup=0`` reshapes it.
+    """
+    user = FaultSpec.parse(text) if text else FaultSpec()
+    given = {
+        item.split("=", 1)[0].strip()
+        for item in (text or "").split(",")
+        if "=" in item
+    }
+    fill = {k: v for k, v in CHAOS_DEFAULTS.items() if k not in given}
+    return replace(user, **fill)
+
+
+def faults_smoke_one(kind: str, spec: FaultSpec) -> WorldStats:
+    """One faulted one-way transfer on ``kind``; assert byte-exact delivery."""
+    env = make_env(
+        kind, config=MpiConfig(frag_bytes=16 * 1024, faults=spec)
+    )
+    wl = MatrixWorkload.triangular(n=128)
+    b0, b1 = matrix_buffers(env, wl)
+    dt = wl.datatype
+    expected = pack_bytes(dt, 1, b0.bytes.copy())
+
+    def rank0(mpi):
+        yield mpi.send(b0, dt, 1, dest=1, tag=9)
+
+    def rank1(mpi):
+        yield mpi.recv(b1, dt, 1, source=0, tag=9)
+
+    env.world.run([rank0, rank1])
+    got = pack_bytes(dt, 1, b1.bytes)
+    if not np.array_equal(expected, got):
+        bad = int(np.count_nonzero(expected != got))
+        raise AssertionError(
+            f"{kind}: faulted transfer corrupted {bad}/{len(expected)} bytes"
+        )
+    ws = env.world.stats()
+    if not ws.is_complete():
+        raise AssertionError(f"{kind}: incomplete transfer records under faults")
+    return ws
+
+
+def run_faults_smoke(spec_text: str = "", verbose: bool = True) -> int:
+    """Chaos smoke: every environment survives the fault plan byte-exact."""
+    spec = chaos_spec(spec_text)
+    if verbose:
+        print(f"fault plan: {spec}")
+    injected = 0
+    for kind, _protocol in SMOKE_CASES:
+        ws = faults_smoke_one(kind, spec)
+        injected += sum(ws.faults_injected.values())
+        if verbose:
+            print(f"== {kind} (faulted, byte-exact)")
+            print(ws.summary())
+    if verbose:
+        print(f"faults smoke: all environments byte-exact "
+              f"({injected} faults injected)")
+    return 0
 
 
 def run_smoke(trace_dir: str | None = None, verbose: bool = True) -> int:

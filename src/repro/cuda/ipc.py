@@ -12,11 +12,15 @@ the BTL.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
+from repro.faults.plan import IpcOpenError
 from repro.hw.gpu import Gpu
 from repro.hw.memory import Buffer
 from repro.sim.core import Future
+
+if TYPE_CHECKING:
+    from repro.faults.plan import FaultPlan
 
 __all__ = ["IpcMemHandle"]
 
@@ -37,12 +41,23 @@ class IpcMemHandle:
         """cudaIpcGetMemHandle."""
         return cls(buf)
 
-    def open(self, opener: Gpu, registration_cache: Optional[dict] = None) -> Future:
+    def open(
+        self,
+        opener: Gpu,
+        registration_cache: Optional[dict] = None,
+        faults: "Optional[FaultPlan]" = None,
+    ) -> Future:
         """cudaIpcOpenMemHandle: map the remote buffer into ``opener``.
 
         Resolves with a :class:`Buffer` aliasing the exporter's bytes.
         The first open of a given allocation pays the registration cost;
         a registration cache (keyed per opener) makes repeats free.
+
+        With a :class:`~repro.faults.FaultPlan`, a first (uncached) open
+        may fail: the returned future then fails with
+        :class:`~repro.faults.IpcOpenError` after the registration cost
+        (the driver tried), and nothing is cached — a retry flips a
+        fresh coin.
         """
         sim = opener.sim
         key = (self.allocation.alloc_id, self.offset, self.nbytes)
@@ -51,9 +66,22 @@ class IpcMemHandle:
             fut = Future(sim, label="ipc.open.cached")
             fut.resolve(mapped)
             return fut
+        cost = _registration_cost(opener)
+        if faults is not None and faults.fail_ipc_open():
+            fut = Future(sim, label="ipc.open.failed")
+            sim.call_after(
+                cost,
+                lambda: fut.fail(
+                    IpcOpenError(
+                        f"cudaIpcOpenMemHandle failed mapping "
+                        f"{self.nbytes}B from {self.source_gpu.name} "
+                        f"into {opener.name} (injected)"
+                    )
+                ),
+            )
+            return fut
         if registration_cache is not None:
             registration_cache[key] = True
-        cost = _registration_cost(opener)
         return sim.timeout(cost, value=mapped, label="ipc.open")
 
 

@@ -96,6 +96,10 @@ class Convertor:
         self._idx, self._unit = gather_indices(dt, count)
         self._user_elems: Optional[np.ndarray] = None
         self._stack: Optional[StackMachine] = None
+        #: dedicated stack machine for the *range* API when the base is
+        #: misaligned (the gather map cannot express a sub-unit shift)
+        self._rstack: Optional[StackMachine] = None
+        self._rstack_pos = 0
         lo = dt.spans_for_count(count).true_lb if count else 0
         if base_offset + lo < 0:
             raise ValueError("datatype reaches below the start of the buffer")
@@ -178,11 +182,51 @@ class Convertor:
         self.position = hi
         return n
 
+    def _range_stack(self, lo: int) -> StackMachine:
+        """Stack machine backing the range API for misaligned bases.
+
+        The gather index array is element-granular, so a ``base_offset``
+        that is not a multiple of the unit cannot be folded into it — the
+        old fast path silently dropped the sub-unit shift and touched the
+        wrong user bytes.  Packing may revisit or skip ranges (the stream
+        is regenerated / advanced through scratch); unpacking is
+        inherently sequential — consumed bytes cannot be replayed.
+        """
+        if self._rstack is not None and self._rstack_pos > lo:
+            if self.direction != "pack":
+                raise RuntimeError(
+                    "misaligned-base unpack_range cannot rewind; "
+                    "deliver fragments in stream order"
+                )
+            self._rstack = None  # rewind: rebuild and re-walk the stream
+        if self._rstack is None:
+            prog = compile_datatype(self.dt, self.count)
+            self._rstack = StackMachine(
+                prog, self.user, direction=self.direction,
+                base_disp=self.base_offset,
+            )
+            self._rstack_pos = 0
+        if self._rstack_pos < lo:
+            if self.direction != "pack":
+                raise RuntimeError(
+                    "misaligned-base unpack_range cannot skip ahead; "
+                    "deliver fragments in stream order"
+                )
+            scratch = np.empty(lo - self._rstack_pos, dtype=np.uint8)
+            self._rstack.advance(scratch)
+            self._rstack_pos = lo
+        return self._rstack
+
     def pack_range(self, out: np.ndarray, lo: int, hi: int) -> None:
         """Random-access pack of packed-stream range [lo, hi) (aligned)."""
         u = self._unit
         if lo % u or hi % u:
             raise ValueError("pack_range requires granularity-aligned bounds")
+        if self.base_offset % u:
+            done = self._range_stack(lo).advance(out[: hi - lo])
+            assert done == hi - lo
+            self._rstack_pos = hi
+            return
         idx = self._idx[lo // u : hi // u]
         out[: hi - lo] = self._elems()[idx].view(np.uint8)
 
@@ -191,6 +235,11 @@ class Convertor:
         u = self._unit
         if lo % u or hi % u:
             raise ValueError("unpack_range requires granularity-aligned bounds")
+        if self.base_offset % u:
+            done = self._range_stack(lo).advance(data[: hi - lo])
+            assert done == hi - lo
+            self._rstack_pos = hi
+            return
         idx = self._idx[lo // u : hi // u]
         self._elems()[idx] = data[: hi - lo].view(_unit_dtype(u))
 

@@ -1,0 +1,29 @@
+"""Deterministic fault injection for the rendezvous stack.
+
+The paper's protocols assume every Active Message arrives, every CUDA
+IPC ``open`` succeeds and every staging allocation is granted.  This
+package breaks those assumptions on purpose: a seed-driven
+:class:`FaultPlan` injects failures at exactly the layers the paper
+treats as infallible — BTL ``am_send`` (drop / duplicate / delay),
+``IpcMemHandle.open`` (mapping failure) and optional staging allocation
+(memory pressure) — so the retry/fallback machinery in the protocols can
+be exercised deterministically.  See ``docs/ROBUSTNESS.md``.
+"""
+
+from repro.faults.plan import (
+    AmFault,
+    FaultPlan,
+    FaultSpec,
+    IpcOpenError,
+    StagingError,
+    TransferTimeout,
+)
+
+__all__ = [
+    "AmFault",
+    "FaultPlan",
+    "FaultSpec",
+    "IpcOpenError",
+    "StagingError",
+    "TransferTimeout",
+]

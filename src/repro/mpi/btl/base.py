@@ -82,10 +82,34 @@ class Btl(ABC):
         self.bytes_sent += nbytes
         wire = self._wire_send(nbytes, label or f"am:{handler}", gpudirect=gpudirect)
         done = Future(self.src.sim, label=f"am:{handler}")
+        sim = self.src.sim
+        faults = getattr(self.src, "faults", None)
 
         def deliver(_f: Future) -> None:
-            self.dst.dispatch(packet, self)
-            done.resolve(packet)
+            fault = faults.am_decision(handler) if faults is not None else None
+            if fault is None:
+                self.dst.dispatch(packet, self)
+                done.resolve(packet)
+                return
+            if fault.drop:
+                # the wire accepted the message; it just never arrives.
+                # The future still resolves (DMA-completion semantics).
+                done.resolve(packet)
+                return
+
+            def arrive() -> None:
+                self.dst.dispatch(packet, self)
+                if not done.done:
+                    done.resolve(packet)
+                if fault.dup:
+                    # the duplicate trails the original, as a spurious
+                    # retransmission would
+                    sim.call_soon(lambda: self.dst.dispatch(packet, self))
+
+            if fault.delay_s > 0.0:
+                sim.call_after(fault.delay_s, arrive)
+            else:
+                arrive()
 
         wire.add_callback(deliver)
         return done

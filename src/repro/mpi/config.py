@@ -10,13 +10,49 @@ options (cache, prep pipelining, grid size).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Optional
 
+from repro.faults.plan import FaultSpec
 from repro.gpu_engine.engine import EngineOptions
 
-__all__ = ["MpiConfig"]
+__all__ = ["MpiConfig", "RetryPolicy"]
 
 KB = 1024
 MB = 1024 * KB
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeout/retry knobs for the reliability layer (docs/ROBUSTNESS.md).
+
+    A sender arms one retransmit timer per unACKed ``frag`` notification;
+    the timer backs off exponentially (``rto * backoff**attempt``) and the
+    transfer fails with :class:`repro.faults.TransferTimeout` once
+    ``max_retries`` retransmissions go unanswered.  Timers are armed only
+    when a fault plan is active (or ``always_on``), so fault-free
+    benchmark timelines are untouched.
+    """
+
+    #: base retransmit timeout, seconds (generous: fragments are ~100 us)
+    rto: float = 2e-3
+    #: exponential backoff factor between retransmissions
+    backoff: float = 2.0
+    #: retransmissions per fragment before the transfer fails
+    max_retries: int = 8
+    #: sender-side CUDA IPC open attempts beyond the first
+    ipc_open_retries: int = 4
+    #: arm retransmit timers even without an active fault plan
+    always_on: bool = False
+
+    def __post_init__(self) -> None:
+        if self.rto <= 0:
+            raise ValueError(f"RetryPolicy.rto must be positive, got {self.rto}")
+        if self.backoff < 1.0:
+            raise ValueError(
+                f"RetryPolicy.backoff must be >= 1, got {self.backoff}"
+            )
+        if self.max_retries < 0 or self.ipc_open_retries < 0:
+            raise ValueError("RetryPolicy retry counts must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -48,6 +84,33 @@ class MpiConfig:
 
     #: GPU datatype engine options
     engine: EngineOptions = field(default_factory=EngineOptions)
+
+    #: timeout/retry/backoff for the rendezvous reliability layer
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: fault-injection plan (None = no injection); see repro.faults
+    faults: Optional[FaultSpec] = None
+
+    def __post_init__(self) -> None:
+        if self.eager_limit < 0:
+            raise ValueError(
+                f"eager_limit must be >= 0, got {self.eager_limit}"
+            )
+        if self.frag_bytes <= 0:
+            # frag_bytes=0 would make every fragment plan an infinite loop
+            raise ValueError(
+                f"frag_bytes must be positive, got {self.frag_bytes}"
+            )
+        if self.pipeline_depth < 1:
+            # a zero-credit window can never admit the first fragment
+            raise ValueError(
+                f"pipeline_depth must be >= 1, got {self.pipeline_depth}"
+            )
+        if self.rdma_mode not in ("get", "put"):
+            # receiver() dispatches on this string; anything else would
+            # silently fall into the GET branch
+            raise ValueError(
+                f"rdma_mode must be 'get' or 'put', got {self.rdma_mode!r}"
+            )
 
     def but(self, **kw) -> "MpiConfig":
         """A modified copy (keyword-for-keyword)."""

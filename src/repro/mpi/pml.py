@@ -95,6 +95,9 @@ def _eager_pack_coro(
     messages).
     """
     total = dt.size * count
+    if total == 0:
+        # zero-byte send: the envelope still travels, the engines don't
+        return np.empty(0, dtype=np.uint8)
     if buf.is_host:
         job = CpuSideJob(proc, dt, count, buf, "pack")
         stage = np.empty(total, dtype=np.uint8)
@@ -123,23 +126,29 @@ def _eager_unpack_coro(
     data: np.ndarray,
     gpudirect: bool = False,
 ):
-    # a receive may be posted larger than the message actually sent
+    # a receive may be posted larger than the message actually sent:
+    # unpack only the prefix that arrived, leave trailing elements alone
     total = min(dt.size * count, len(data))
+    if total == 0:
+        return 0
     if buf.is_host:
         job = CpuSideJob(proc, dt, count, buf, "unpack")
         yield job.process_range(0, total, data)
         return total
     job = proc.engine.unpack_job(dt, count, buf, proc.config.engine)
+    # a prefix fragment (not process_all, which demands the full posted
+    # count's bytes and would reject — or overrun — a short message)
+    frag = job.range_fragment(0, 0, total)
     if gpudirect:
         # the NIC deposited the message straight into device memory
         dstage = proc.acquire_staging("device", max(total, 256))
         dstage.bytes[:total] = data[:total]
-        yield from job.process_all(dstage[:total])
+        yield from job.process_fragment(frag, dstage[:total])
         proc.release_staging("device", dstage)
         return total
     hstage = proc.acquire_staging("host", max(total, 256), zero_copy_map=True)
     hstage.bytes[:total] = data[:total]
-    yield from job.process_all(hstage[:total])
+    yield from job.process_fragment(frag, hstage[:total])
     proc.release_staging("host", hstage, zero_copy_map=True)
     return total
 
@@ -249,8 +258,11 @@ def isend_coro(
             state.stats.fragments = 1
         proc.record_transfer(state.stats)
     finally:
+        state.close()  # cancel any outstanding retransmit watchdogs
         proc.unregister_handler(f"x{tid}.s.cts")
         state.unbind_all("done")
+        # swallow duplicated/delayed ACKs that surface after completion
+        state.seal()
         if state.ring is not None:
             proc.release_staging("device", state.ring)
     return result
@@ -329,6 +341,8 @@ def irecv_coro(
         proc.record_transfer(state.stats)
     finally:
         state.unbind_all("frag", "done")
+        # answer retransmissions of fragments whose final ACK was lost
+        state.seal()
     return Status(source=env.source, tag=env.tag, count_bytes=result)
 
 

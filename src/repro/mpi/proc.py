@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.cuda.runtime import CudaContext
+from repro.faults.plan import FaultPlan
 from repro.gpu_engine.engine import GpuDatatypeEngine
 from repro.mpi.config import MpiConfig
 from repro.mpi.matching import MatchingEngine
@@ -31,11 +32,17 @@ class MpiProcess:
         gpu: Optional["Gpu"],
         config: MpiConfig,
         metrics: Optional[MetricsRegistry] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         self.rank = rank
         self.node = node
         self.gpu = gpu
         self.config = config
+        #: world-shared fault injector (None = fault-free); standalone
+        #: processes build their own plan when the config asks for one
+        self.faults = faults
+        if self.faults is None and config.faults is not None:
+            self.faults = FaultPlan(config.faults)
         self.sim: Simulator = node.sim
         self.matching = MatchingEngine()
         #: rank-scoped view of the world's registry (own registry standalone)
@@ -58,16 +65,28 @@ class MpiProcess:
 
     # -- staging buffer pool ------------------------------------------------
     def acquire_staging(
-        self, kind: str, nbytes: int, zero_copy_map: bool = False
+        self,
+        kind: str,
+        nbytes: int,
+        zero_copy_map: bool = False,
+        optional: bool = False,
     ):
         """Reusable staging buffer ('host' or 'device'), pooled per rank.
 
         Pooling mirrors the registration/allocation caching real
         implementations do: a ping-pong reuses the same ring every
         iteration, so IPC handles stay cached on the peer.
+
+        ``optional=True`` marks an allocation the caller can live
+        without (e.g. the receiver's local staging optimization); under
+        fault-injected memory pressure it returns ``None`` instead of a
+        buffer, and the caller degrades gracefully.  Required
+        allocations are never refused.
         """
         from repro.cuda.uma import map_host_buffer
 
+        if optional and self.faults is not None and self.faults.fail_staging(kind):
+            return None
         key = (kind, nbytes, zero_copy_map)
         pool = self._staging_pool.setdefault(key, [])
         if pool:

@@ -5,13 +5,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
+import numpy as np
+
 from repro.cuda.ipc import IpcMemHandle
 from repro.datatype.convertor import Convertor
 from repro.datatype.ddt import Datatype
+from repro.faults.plan import IpcOpenError, TransferTimeout
 from repro.gpu_engine.engine import PackJob
 from repro.hw.memory import Buffer
 from repro.obs.stats import TransferStats
-from repro.sim.core import Future
+from repro.sim.core import Future, TimerHandle
 from repro.sim.resources import Mailbox, Semaphore
 
 if TYPE_CHECKING:
@@ -25,7 +28,32 @@ __all__ = [
     "byte_ranges",
     "describe_side",
     "choose_protocol",
+    "open_with_retry",
 ]
+
+
+def open_with_retry(state: "TransferState", handle: IpcMemHandle):
+    """Coroutine: CUDA IPC open with bounded retry and backoff.
+
+    Used on the *sender* side (and anywhere no renegotiation is
+    possible): a failed ``cudaIpcOpenMemHandle`` is retried up to
+    ``config.retry.ipc_open_retries`` times before the error propagates.
+    Receivers instead fall back to the copy-in/out protocol after a
+    single failed attempt (they can still steer the handshake).
+    """
+    proc = state.proc
+    policy = proc.config.retry
+    attempt = 0
+    while True:
+        try:
+            mapped = yield handle.open(proc.gpu, proc.ipc_cache, faults=proc.faults)
+            return mapped
+        except IpcOpenError:
+            if attempt >= policy.ipc_open_retries:
+                raise
+            proc.metrics.counter("pml.ipc_open_retries").inc()
+            yield proc.sim.timeout(policy.rto * policy.backoff**attempt)
+            attempt += 1
 
 
 @dataclass
@@ -65,9 +93,14 @@ def choose_protocol(s: SideInfo, r: SideInfo, btl: "Btl") -> str:
 
 
 def byte_ranges(total: int, frag: int) -> list[tuple[int, int]]:
-    """The packed stream cut into pipeline fragments."""
+    """The packed stream cut into pipeline fragments.
+
+    A zero-byte message has *no* fragments — a ghost ``(0, 0)`` fragment
+    would ship a pointless notification through the ring and touch the
+    GPU engine for nothing.
+    """
     if total == 0:
-        return [(0, 0)]
+        return []
     return [(lo, min(lo + frag, total)) for lo in range(0, total, frag)]
 
 
@@ -110,6 +143,212 @@ class TransferState:
             start_s=sim.now,
         )
         self._in_flight = 0
+        # -- reliability layer (docs/ROBUSTNESS.md) ------------------------
+        #: retransmit timers armed only under an active fault plan (or
+        #: config.retry.always_on); fault-free timelines stay untouched
+        self.reliable = bool(
+            self.proc.config.retry.always_on
+            or (self.proc.faults is not None and self.proc.faults.active)
+        )
+        #: sender side: fragment ids whose ACK has arrived
+        self.acked: set[int] = set()
+        self._retrans_timers: dict[int, TimerHandle] = {}
+        self._all_acked: Optional[Future] = None
+        self._acks_needed = 0
+        #: receiver side: fragment ids seen / fully processed (dedupe)
+        self._frags_seen: set[int] = set()
+        self._frags_done: set[int] = set()
+        #: ring-slot reuse gates (see :meth:`slot_free`)
+        self._slot_waiters: dict[int, list[Future]] = {}
+        #: waits that must fail if the transfer times out (see _abort)
+        self._waits: list[Future] = []
+        self._closed = False
+
+    # -- sender reliability: ACK tracking + retransmit -----------------------
+    def expect_acks(self, n: int) -> Future:
+        """Future resolving once ``n`` distinct fragment ACKs arrive.
+
+        Pair with ``bind("ack", state.on_ack)``.  Fails with
+        :class:`TransferTimeout` if any fragment exhausts its retries.
+        """
+        fut = Future(self.proc.sim, label=f"{self.tid}.all-acked")
+        self._all_acked = fut
+        self._acks_needed = n
+        if n == 0:
+            fut.resolve(None)
+        return fut
+
+    def on_ack(self, pkt, _btl) -> None:
+        """AM handler: dedupe, cancel the retransmit timer, free a credit."""
+        i = int(pkt.header["i"])
+        if i in self.acked:
+            # a retransmitted fragment was re-ACKed; drop the duplicate
+            self.stats.dup_acks_dropped += 1
+            self.proc.metrics.counter("pml.dup_acks_dropped").inc()
+            return
+        self.acked.add(i)
+        timer = self._retrans_timers.pop(i, None)
+        if timer is not None:
+            timer.cancel()
+        for fut in self._slot_waiters.pop(i, []):
+            if not fut.done:
+                fut.resolve(None)
+        self.release_credit()
+        self._acks_needed -= 1
+        if self._acks_needed == 0 and self._all_acked is not None:
+            if not self._all_acked.done:
+                self._all_acked.resolve(None)
+
+    def slot_free(self, i: int) -> Future:
+        """Future: ring slot ``i % depth`` is safe to overwrite.
+
+        In the RDMA modes the ring *is* the data path, and credits are a
+        counting window, not slot-specific: ACKs for fragments i+1..i+k
+        can hand the sender enough credits to reach fragment ``i + depth``
+        while fragment ``i`` — lost on the wire and awaiting
+        retransmission — still lives in its slot.  Repacking the slot
+        then corrupts the retransmitted fragment.  This gate waits for
+        the ACK of fragment ``i - depth`` specifically; on the
+        non-reliable path in-order delivery makes the credit window
+        sufficient and the gate resolves immediately.
+        """
+        fut = Future(self.proc.sim, label=f"{self.tid}.slot[{i}]")
+        j = i - self.depth
+        if not self.reliable or j < 0 or j in self.acked:
+            fut.resolve(None)
+            return fut
+        self._slot_waiters.setdefault(j, []).append(fut)
+        self._waits.append(fut)
+        return fut
+
+    def _guard(self, fut: Future) -> Future:
+        """Make a wait abortable by a transfer-level timeout failure.
+
+        A sender that exhausts retries may be blocked on a *credit*, not
+        on the all-ACKed future — the timeout must reach it there too.
+        """
+        if not self.reliable:
+            return fut
+        outer = Future(self.proc.sim, label=f"{self.tid}.guarded")
+
+        def forward(f: Future) -> None:
+            if outer.done:
+                return
+            if f.failed:
+                outer.fail(f.exception)
+            else:
+                outer.resolve(f._value)
+
+        fut.add_callback(forward)
+        self._waits.append(outer)
+        return outer
+
+    def _abort(self, exc: Exception) -> None:
+        """Fail every outstanding guarded wait (retries exhausted)."""
+        waits, self._waits = self._waits, []
+        for w in waits:
+            if not w.done:
+                w.fail(exc)
+
+    def send_frag(self, header: dict, payload=None) -> None:
+        """Send a ``frag`` notification, retransmitting until ACKed.
+
+        Without the reliability layer this is a plain fire-and-forget
+        ``am_send``; with it, an exponential-backoff watchdog re-sends
+        the notification while the fragment id stays unACKed, and fails
+        the transfer after ``retry.max_retries`` attempts.
+        """
+        if self.reliable and payload is not None:
+            # own snapshot: a retransmission must resend the *original*
+            # bytes even after the staging buffer underneath the caller's
+            # view has been reused for a later fragment
+            payload = np.array(payload, dtype=np.uint8)
+        self._transmit(int(header["i"]), header, payload, attempt=0)
+
+    def _transmit(self, i: int, header: dict, payload, attempt: int) -> None:
+        if attempt:
+            self.stats.retransmits += 1
+            self.proc.metrics.counter("pml.retransmits").inc()
+        self.btl.am_send(self.peer("frag"), header, payload=payload)
+        if not self.reliable:
+            return
+        policy = self.proc.config.retry
+        delay = policy.rto * policy.backoff**attempt
+
+        def fire() -> None:
+            self._retrans_timers.pop(i, None)
+            if self._closed or i in self.acked:
+                return
+            if attempt >= policy.max_retries:
+                exc = TransferTimeout(
+                    f"{self.tid}: fragment {i} unACKed after "
+                    f"{policy.max_retries} retransmissions"
+                )
+                if self._all_acked is not None and not self._all_acked.done:
+                    self._all_acked.fail(exc)
+                self._abort(exc)
+                return
+            self._transmit(i, header, payload, attempt + 1)
+
+        self._retrans_timers[i] = self.proc.sim.call_after(delay, fire)
+
+    # -- receiver reliability: duplicate suppression --------------------------
+    def frag_is_dup(self, pkt) -> bool:
+        """True when this ``frag`` notification was already seen.
+
+        Duplicates of *completed* fragments are re-ACKed (the original
+        ACK may have been the loss); duplicates of in-flight fragments
+        are silently dropped — their ACK is already on the way.
+        """
+        i = int(pkt.header["i"])
+        if i not in self._frags_seen:
+            self._frags_seen.add(i)
+            return False
+        self.stats.dup_frags_dropped += 1
+        self.proc.metrics.counter("pml.dup_frags_dropped").inc()
+        if i in self._frags_done:
+            self.btl.am_send(self.peer("ack"), {"i": i})
+        return True
+
+    def frag_done(self, i: int) -> None:
+        """Mark a fragment fully processed (its ACK has been sent)."""
+        self._frags_done.add(int(i))
+
+    def seal(self) -> None:
+        """Keep answering late retransmissions after the transfer ends.
+
+        Receiver side: a dropped final ACK makes the sender retransmit a
+        fragment the receiver has already retired and unbound; the
+        tombstone handler re-ACKs anything that still arrives so the
+        sender can finish.  Sender side: a duplicated or delayed ACK can
+        surface after the transfer completed and the ``ack`` handler was
+        unbound; the tombstone swallows it.
+        """
+        if not self.reliable:
+            return
+        if self.role == "r":
+            name = f"x{self.tid}.{self.role}.frag"
+
+            def tombstone(pkt, _btl) -> None:
+                self.proc.metrics.counter("pml.late_retransmits").inc()
+                self.btl.am_send(self.peer("ack"), {"i": pkt.header["i"]})
+
+        else:
+            name = f"x{self.tid}.{self.role}.ack"
+
+            def tombstone(pkt, _btl) -> None:
+                self.stats.dup_acks_dropped += 1
+                self.proc.metrics.counter("pml.dup_acks_dropped").inc()
+
+        self.proc.unregister_handler(name)
+        self.proc.register_handler(name, tombstone)
+
+    def close(self) -> None:
+        """Cancel every outstanding retransmit timer (transfer is over)."""
+        self._closed = True
+        for timer in self._retrans_timers.values():
+            timer.cancel()
+        self._retrans_timers.clear()
 
     # -- observability helpers ----------------------------------------------
     def ranges(self) -> list[tuple[int, int]]:
@@ -138,7 +377,7 @@ class TransferState:
             self.frag_begin()
 
         fut.add_callback(granted)
-        return fut
+        return self._guard(fut)
 
     def release_credit(self) -> None:
         """``credits.release()`` that retires one in-flight fragment."""

@@ -18,7 +18,6 @@ one process uses device memory while the other only uses host memory").
 from __future__ import annotations
 
 from repro.mpi.protocols.common import CpuSideJob, SideInfo, TransferState
-from repro.sim.core import Future
 
 __all__ = ["sender", "receiver"]
 
@@ -36,20 +35,15 @@ def _ring(state: TransferState, zero_copy: bool):
 
 def sender(state: TransferState, s_info: SideInfo, r_info: SideInfo, cts: dict):
     """Sender side of the copy-in/out pipeline (pack -> stage -> wire)."""
-    proc, btl = state.proc, state.btl
+    proc = state.proc
     cfg = proc.config
     ranges = state.ranges()
-    n_frags = len(ranges)
-    acks = {"n": 0}
-    all_acked = Future(proc.sim, label=f"{state.tid}.all-acked")
-
-    def on_ack(pkt, _btl) -> None:
-        acks["n"] += 1
-        state.release_credit()
-        if acks["n"] == n_frags:
-            all_acked.resolve(None)
-
-    state.bind("ack", on_ack)
+    all_acked = state.expect_acks(len(ranges))
+    state.bind("ack", state.on_ack)
+    if not ranges:
+        # zero-byte message: nothing to stage, nothing to pipeline
+        state.unbind_all("ack")
+        return state.total
 
     on_device = s_info.loc == "device"
     zero_copy = on_device and cfg.zero_copy
@@ -79,8 +73,8 @@ def sender(state: TransferState, s_info: SideInfo, r_info: SideInfo, cts: dict):
                     yield proc.gpu.memcpy_d2h(seg, dseg)
             else:
                 yield job.process_range(lo, hi, seg)
-            btl.am_send(
-                state.peer("frag"), {"i": i, "lo": lo, "hi": hi}, payload=seg.bytes
+            state.send_frag(
+                {"i": i, "lo": lo, "hi": hi}, payload=seg.bytes
             )
         yield all_acked
     finally:
@@ -98,10 +92,18 @@ def segs_dev(dev_stage, state: TransferState, i: int):
 
 
 def receiver(state: TransferState, s_info: SideInfo, r_info: SideInfo):
-    """Receiver side of the copy-in/out pipeline (deposit -> unpack)."""
+    """Receiver side of the copy-in/out pipeline (deposit -> unpack).
+
+    Duplicate fragment notifications (retransmissions whose original made
+    it through) are suppressed and re-ACKed, so a lossy transport still
+    unpacks each fragment exactly once.
+    """
     proc, btl = state.proc, state.btl
     cfg = proc.config
-    ranges = state.ranges()
+    n_frags = len(state.ranges())
+    if n_frags == 0:
+        state.unbind_all("frag")
+        return state.total
     on_device = r_info.loc == "device"
     zero_copy = on_device and cfg.zero_copy
     ring, segs = _ring(state, zero_copy)
@@ -113,8 +115,12 @@ def receiver(state: TransferState, s_info: SideInfo, r_info: SideInfo):
             job = proc.engine.unpack_job(state.dt, state.count, state.buf, cfg.engine)
         else:
             job = CpuSideJob(proc, state.dt, state.count, state.buf, "unpack")
-        for k in range(len(ranges)):
+        fresh = 0
+        while fresh < n_frags:
             pkt = yield state.inbox.get()
+            if state.frag_is_dup(pkt):
+                continue
+            fresh += 1
             state.frag_begin()
             i, lo, hi = pkt.header["i"], pkt.header["lo"], pkt.header["hi"]
             seg = segs[i % state.depth][: hi - lo]
@@ -132,6 +138,7 @@ def receiver(state: TransferState, s_info: SideInfo, r_info: SideInfo):
                 yield job.process_range(lo, hi, seg.bytes)
             state.frag_end()
             btl.am_send(state.peer("ack"), {"i": i})
+            state.frag_done(i)
     finally:
         proc.release_staging("host", ring, zero_copy_map=zero_copy)
         if dev_stage is not None:

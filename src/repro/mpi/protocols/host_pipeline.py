@@ -11,29 +11,24 @@ comparison configuration.
 from __future__ import annotations
 
 from repro.mpi.protocols.common import CpuSideJob, SideInfo, TransferState
-from repro.sim.core import Future
 
 __all__ = ["sender", "receiver"]
 
 
 def sender(state: TransferState, s_info: SideInfo, r_info: SideInfo, cts: dict):
-    """Sender side: pack fragments, send, respect the credit window."""
-    proc, btl = state.proc, state.btl
+    """Sender side: pack fragments, send, respect the credit window.
+
+    Fragment notifications ride the reliability layer: unACKed fragments
+    are retransmitted with backoff, duplicate ACKs are suppressed, and a
+    zero-fragment (empty) message completes immediately.
+    """
+    proc = state.proc
     ranges = state.ranges()
-    n_frags = len(ranges)
-    acks = {"n": 0}
-    all_acked = Future(proc.sim, label=f"{state.tid}.all-acked")
-
-    def on_ack(pkt, _btl) -> None:
-        acks["n"] += 1
-        state.release_credit()
-        if acks["n"] == n_frags:
-            all_acked.resolve(None)
-
-    state.bind("ack", on_ack)
+    all_acked = state.expect_acks(len(ranges))
+    state.bind("ack", state.on_ack)
     job = CpuSideJob(proc, state.dt, state.count, state.buf, "pack")
     stage = None
-    if not job.contiguous:
+    if ranges and not job.contiguous:
         stage = proc.node.host_memory.alloc(state.frag_bytes, label="snd-stage")
     try:
         for i, (lo, hi) in enumerate(ranges):
@@ -43,11 +38,7 @@ def sender(state: TransferState, s_info: SideInfo, r_info: SideInfo, cts: dict):
             else:
                 yield job.process_range(lo, hi, stage)
                 payload = stage.bytes[: hi - lo]
-            btl.am_send(
-                state.peer("frag"),
-                {"i": i, "lo": lo, "hi": hi},
-                payload=payload,
-            )
+            state.send_frag({"i": i, "lo": lo, "hi": hi}, payload=payload)
         yield all_acked
     finally:
         if stage is not None:
@@ -57,18 +48,29 @@ def sender(state: TransferState, s_info: SideInfo, r_info: SideInfo, cts: dict):
 
 
 def receiver(state: TransferState, s_info: SideInfo, r_info: SideInfo):
-    """Receiver side: unpack each arriving fragment, acknowledge it."""
+    """Receiver side: unpack each arriving fragment, acknowledge it.
+
+    Retransmitted duplicates are suppressed (re-ACKed when already
+    processed), so a lossy transport converges on exactly-once unpack.
+    """
     proc, btl = state.proc, state.btl
-    ranges = state.ranges()
+    n_frags = len(state.ranges())
+    if n_frags == 0:
+        return state.total
     job = CpuSideJob(proc, state.dt, state.count, state.buf, "unpack")
+    fresh = 0
     try:
-        for _ in ranges:
+        while fresh < n_frags:
             pkt = yield state.inbox.get()
+            if state.frag_is_dup(pkt):
+                continue
+            fresh += 1
             state.frag_begin()
-            lo, hi = pkt.header["lo"], pkt.header["hi"]
+            i, lo, hi = pkt.header["i"], pkt.header["lo"], pkt.header["hi"]
             yield job.process_range(lo, hi, pkt.payload)
             state.frag_end()
-            btl.am_send(state.peer("ack"), {"i": pkt.header["i"]})
+            btl.am_send(state.peer("ack"), {"i": i})
+            state.frag_done(i)
     finally:
         state.unbind_all("frag")
     return state.total

@@ -22,13 +22,22 @@ And the receiver may stage each packed fragment into a local GPU buffer
 before unpacking — grouping small remote reads into one PCIe-friendly
 copy, the 10-15 % win of Section 5.2.1 — controlled by
 ``MpiConfig.receiver_local_staging``.
+
+Robustness (docs/ROBUSTNESS.md): a receiver whose ``cudaIpcOpenMemHandle``
+fails steers the still-open handshake down to the copy-in/out protocol;
+a receiver that cannot allocate its optional local staging unpacks
+straight from the remote ring; sender-side opens (which have no
+renegotiation path) get bounded retry; fragment notifications and ACKs
+ride the retransmit/dedupe layer in :class:`TransferState`.
 """
 
 from __future__ import annotations
 
 from repro.cuda.ipc import IpcMemHandle
-from repro.mpi.protocols.common import SideInfo, TransferState
-from repro.sim.core import Future, all_of
+from repro.faults.plan import IpcOpenError
+from repro.mpi.protocols.common import SideInfo, TransferState, open_with_retry
+from repro.mpi.protocols.copy_in_out import receiver as copyinout_receiver
+from repro.sim.core import all_of
 
 __all__ = ["sender", "receiver", "transfer_mode"]
 
@@ -66,34 +75,32 @@ def sender(state: TransferState, s_info: SideInfo, r_info: SideInfo, cts: dict):
 
 
 def _sender_general(state: TransferState, cts: dict):
-    """Pack fragments into the ring; notify; recycle on ACK."""
-    proc, btl = state.proc, state.btl
+    """Pack fragments into the ring; notify; recycle on ACK.
+
+    Notifications ride the reliability layer: unACKed fragments are
+    re-notified with backoff and duplicate ACKs are suppressed, so the
+    credit window (and therefore ring-slot reuse) stays consistent even
+    over a faulted transport.
+    """
+    proc = state.proc
     ring = state.ring  # our device ring, allocated by the PML pre-RTS
     ranges = state.ranges()
-    n_frags = len(ranges)
-    acks = {"n": 0}
-    all_acked = Future(proc.sim, label=f"{state.tid}.all-acked")
-
-    def on_ack(pkt, _btl) -> None:
-        acks["n"] += 1
-        state.release_credit()
-        if acks["n"] == n_frags:
-            all_acked.resolve(None)
-
-    state.bind("ack", on_ack)
+    all_acked = state.expect_acks(len(ranges))
+    state.bind("ack", state.on_ack)
     try:
         job = proc.engine.pack_job(
             state.dt, state.count, state.buf, proc.config.engine
         )
         for i, (lo, hi) in enumerate(ranges):
             yield state.acquire_credit()
+            # the ring is the data path: don't repack a slot whose
+            # previous occupant is still unACKed (lost-notification case)
+            yield state.slot_free(i)
             slot = i % state.depth
             seg = ring[slot * state.frag_bytes :][: hi - lo]
             frag = job.range_fragment(i, lo, hi)
             yield from job.process_fragment(frag, seg)
-            btl.am_send(
-                state.peer("frag"), {"i": i, "lo": lo, "hi": hi, "slot": slot}
-            )
+            state.send_frag({"i": i, "lo": lo, "hi": hi, "slot": slot})
         yield all_acked
     finally:
         state.unbind_all("ack")
@@ -104,7 +111,7 @@ def _sender_into_receiver(state: TransferState, r_info: SideInfo, cts: dict):
     """Receiver is contiguous: pack kernels write its buffer directly."""
     proc, btl = state.proc, state.btl
     handle: IpcMemHandle = cts["handle"]
-    mapped = yield handle.open(proc.gpu, proc.ipc_cache)
+    mapped = yield from open_with_retry(state, handle)
     job = proc.engine.pack_job(state.dt, state.count, state.buf, proc.config.engine)
     for i, (lo, hi) in enumerate(state.ranges()):
         frag = job.range_fragment(i, lo, hi)
@@ -140,18 +147,56 @@ def _cts(state: TransferState, r_info: SideInfo, mode: str, **extra) -> None:
     )
 
 
+def _fallback_copyinout(state: TransferState, s_info: SideInfo, r_info: SideInfo):
+    """IPC open failed: steer the handshake down to copy-in/out.
+
+    The CTS has not been sent yet, so the receiver still controls the
+    protocol choice — it answers ``copyinout`` and both sides run the
+    host-staged pipeline instead of crashing the transfer.
+    """
+    proc = state.proc
+    proc.metrics.counter("pml.fallback.copyinout").inc()
+    state.stats.protocol = "copyinout"
+    state.stats.mode = ""
+    state.stats.fallback = "copyinout"
+    state.btl.am_send(
+        state.peer("cts"), {"protocol": "copyinout", "side": r_info}
+    )
+    return (yield from copyinout_receiver(state, s_info, r_info))
+
+
+def _acquire_local_stage(state: TransferState):
+    """The optional receiver-side staging ring, degrading gracefully.
+
+    Under allocation pressure (or an injected staging fault) the
+    receiver simply unpacks straight from the remote ring — correct,
+    just without the Section 5.2.1 grouping win.
+    """
+    proc = state.proc
+    stage = proc.acquire_staging(
+        "device", state.frag_bytes * state.depth, optional=True
+    )
+    if stage is None:
+        state.stats.fallback = "direct_unpack"
+        proc.metrics.counter("pml.fallback.direct_unpack").inc()
+    return stage
+
+
 def _receiver_general(state: TransferState, s_info: SideInfo, r_info: SideInfo):
     proc, btl = state.proc, state.btl
     cfg = proc.config
     # map the sender's ring (one-time RDMA connection establishment)
-    mapped_ring = yield s_info.handle.open(proc.gpu, proc.ipc_cache)
+    try:
+        mapped_ring = yield s_info.handle.open(
+            proc.gpu, proc.ipc_cache, faults=proc.faults
+        )
+    except IpcOpenError:
+        return (yield from _fallback_copyinout(state, s_info, r_info))
     sender_gpu = s_info.handle.source_gpu
     cross_gpu = sender_gpu is not proc.gpu
     local_stage = None
     if cfg.receiver_local_staging and cross_gpu:
-        local_stage = proc.acquire_staging(
-            "device", state.frag_bytes * state.depth
-        )
+        local_stage = _acquire_local_stage(state)
     _cts(state, r_info, "general")
     try:
         job = proc.engine.unpack_job(state.dt, state.count, state.buf, cfg.engine)
@@ -186,10 +231,16 @@ def _receiver_general(state: TransferState, s_info: SideInfo, r_info: SideInfo):
                 yield from job.process_fragment(frag, remote_seg)
             state.frag_end()
             btl.am_send(state.peer("ack"), {"i": i})
+            state.frag_done(i)
 
+        n_frags = len(state.ranges())
         chains = []
-        for _ in state.ranges():
+        fresh = 0
+        while fresh < n_frags:
             pkt = yield state.inbox.get()
+            if state.frag_is_dup(pkt):
+                continue
+            fresh += 1
             chains.append(proc.sim.spawn(handle(pkt), label="rdma-unpack"))
         yield all_of(proc.sim, chains)
     finally:
@@ -204,14 +255,17 @@ def _receiver_from_sender(
     """Sender contiguous: unpack directly from its mapped user buffer."""
     proc, btl = state.proc, state.btl
     cfg = proc.config
-    mapped = yield s_info.handle.open(proc.gpu, proc.ipc_cache)
+    try:
+        mapped = yield s_info.handle.open(
+            proc.gpu, proc.ipc_cache, faults=proc.faults
+        )
+    except IpcOpenError:
+        return (yield from _fallback_copyinout(state, s_info, r_info))
     sender_gpu = s_info.handle.source_gpu
     cross_gpu = sender_gpu is not proc.gpu
     local_stage = None
     if cfg.receiver_local_staging and cross_gpu:
-        local_stage = proc.acquire_staging(
-            "device", state.frag_bytes * state.depth
-        )
+        local_stage = _acquire_local_stage(state)
     _cts(state, r_info, "send_contig")
     job = proc.engine.unpack_job(state.dt, state.count, state.buf, cfg.engine)
 
@@ -262,7 +316,12 @@ def _receiver_get_contig(
 ):
     """Both contiguous: a single one-sided GET of the whole message."""
     proc, btl = state.proc, state.btl
-    mapped = yield s_info.handle.open(proc.gpu, proc.ipc_cache)
+    try:
+        mapped = yield s_info.handle.open(
+            proc.gpu, proc.ipc_cache, faults=proc.faults
+        )
+    except IpcOpenError:
+        return (yield from _fallback_copyinout(state, s_info, r_info))
     sender_gpu = s_info.handle.source_gpu
     _cts(state, r_info, "both_contig")
     if sender_gpu is proc.gpu:
@@ -292,7 +351,9 @@ def _receiver_put(state: TransferState, s_info: SideInfo, r_info: SideInfo):
 
     The staging copy of the GET flow disappears — fragments land already
     local — at the price of the sender's kernels writing through PCIe at
-    the remote-access efficiency.
+    the remote-access efficiency.  (The ring here is the transfer
+    mechanism itself, not an optional optimization, so its allocation is
+    not subject to staging-pressure degradation.)
     """
     proc, btl = state.proc, state.btl
     cfg = proc.config
@@ -313,10 +374,16 @@ def _receiver_put(state: TransferState, s_info: SideInfo, r_info: SideInfo):
             yield from job.process_fragment(frag, seg)
             state.frag_end()
             btl.am_send(state.peer("ack"), {"i": i})
+            state.frag_done(i)
 
+        n_frags = len(state.ranges())
         chains = []
-        for _ in state.ranges():
+        fresh = 0
+        while fresh < n_frags:
             pkt = yield state.inbox.get()
+            if state.frag_is_dup(pkt):
+                continue
+            fresh += 1
             chains.append(proc.sim.spawn(handle_frag(pkt), label="put-unpack"))
         yield all_of(proc.sim, chains)
     finally:
@@ -326,28 +393,21 @@ def _receiver_put(state: TransferState, s_info: SideInfo, r_info: SideInfo):
 
 def _sender_put(state: TransferState, cts: dict):
     """Pack fragments straight into the receiver's exposed ring."""
-    proc, btl = state.proc, state.btl
+    proc = state.proc
     handle: IpcMemHandle = cts["handle"]
-    mapped = yield handle.open(proc.gpu, proc.ipc_cache)
+    mapped = yield from open_with_retry(state, handle)
     target_gpu = handle.source_gpu
     cross_gpu = target_gpu is not proc.gpu
     ranges = state.ranges()
-    n_frags = len(ranges)
-    acks = {"n": 0}
-    all_acked = Future(proc.sim, label=f"{state.tid}.all-acked")
-
-    def on_ack(pkt, _btl) -> None:
-        acks["n"] += 1
-        state.release_credit()
-        if acks["n"] == n_frags:
-            all_acked.resolve(None)
-
-    state.bind("ack", on_ack)
+    all_acked = state.expect_acks(len(ranges))
+    state.bind("ack", state.on_ack)
     try:
         job = proc.engine.pack_job(state.dt, state.count, state.buf,
                                    proc.config.engine)
         for i, (lo, hi) in enumerate(ranges):
             yield state.acquire_credit()
+            # the receiver's ring is the data path (see _sender_general)
+            yield state.slot_free(i)
             slot = i % state.depth
             seg = mapped[slot * state.frag_bytes :][: hi - lo]
             # cross-process write fence before reusing the remote slot
@@ -360,9 +420,7 @@ def _sender_put(state: TransferState, cts: dict):
             yield engine_link.transfer(0, extra_overhead=sync, label="ipc-sync")
             frag = job.range_fragment(i, lo, hi)
             yield from job.process_fragment(frag, seg)
-            btl.am_send(
-                state.peer("frag"), {"i": i, "lo": lo, "hi": hi, "slot": slot}
-            )
+            state.send_frag({"i": i, "lo": lo, "hi": hi, "slot": slot})
         yield all_acked
     finally:
         state.unbind_all("ack")

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Callable, Optional, Sequence
 
 from repro.datatype.ddt import Datatype
+from repro.faults.plan import FaultPlan
 from repro.hw.memory import Buffer
 from repro.hw.node import Cluster
 from repro.mpi.bml import Bml
@@ -48,6 +49,13 @@ class MpiWorld:
         self.bml = Bml()
         #: world-wide metrics store; ranks get ``r<rank>.``-scoped views
         self.metrics = MetricsRegistry()
+        #: one shared fault injector (None without a configured plan):
+        #: all ranks draw from the same seeded RNG in event order
+        self.faults: Optional[FaultPlan] = None
+        if self.config.faults is not None:
+            self.faults = FaultPlan(
+                self.config.faults, metrics=self.metrics.scoped("faults.")
+            )
         self.procs: list[MpiProcess] = []
         for rank, (node_i, gpu_i) in enumerate(placements):
             node = cluster.nodes[node_i]
@@ -55,6 +63,7 @@ class MpiWorld:
             proc = MpiProcess(
                 rank, node, gpu, self.config,
                 metrics=self.metrics.scoped(f"r{rank}."),
+                faults=self.faults,
             )
             proc.register_handler("pml.rts", rts_handler(self, proc))
             self.procs.append(proc)

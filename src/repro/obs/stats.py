@@ -47,6 +47,14 @@ class TransferStats:
     credit_wait_s: float = 0.0
     #: peak number of fragments simultaneously in flight on this side
     max_in_flight: int = 0
+    #: fragment notifications re-sent because no ACK arrived in time
+    retransmits: int = 0
+    #: duplicate fragment notifications suppressed by the receiver
+    dup_frags_dropped: int = 0
+    #: duplicate ACKs suppressed by the sender
+    dup_acks_dropped: int = 0
+    #: degradation taken, if any ("copyinout", "direct_unpack", ...)
+    fallback: str = ""
     start_s: float = -1.0
     end_s: float = -1.0
 
@@ -67,7 +75,7 @@ class TransferStats:
             and self.role in ("send", "recv")
             and self.rank >= 0
             and self.peer >= 0
-            and self.total_bytes > 0
+            and self.total_bytes >= 0  # zero-byte transfers are legal
             and self.fragments >= 1
             and 0.0 <= self.start_s <= self.end_s
         )
@@ -212,6 +220,36 @@ class WorldStats:
     def credit_wait_s(self) -> float:
         return sum(t.credit_wait_s for t in self.transfers)
 
+    @property
+    def retransmits(self) -> int:
+        """Total fragment retransmissions across every transfer."""
+        return sum(t.retransmits for t in self.transfers)
+
+    @property
+    def dup_drops(self) -> int:
+        """Duplicate frags + ACKs suppressed across every transfer."""
+        return sum(
+            t.dup_frags_dropped + t.dup_acks_dropped for t in self.transfers
+        )
+
+    @property
+    def fallbacks(self) -> dict:
+        """Count of transfers per degradation taken (empty = none)."""
+        out: dict[str, int] = {}
+        for t in self.transfers:
+            if t.fallback:
+                out[t.fallback] = out.get(t.fallback, 0) + 1
+        return out
+
+    @property
+    def faults_injected(self) -> dict:
+        """Injected-fault counters from the metrics snapshot."""
+        return {
+            k[len("faults."):]: v
+            for k, v in self.metrics.items()
+            if k.startswith("faults.")
+        }
+
     def busy_by_stage(self) -> dict:
         """Busy time aggregated by :func:`classify_resource` stage."""
         out: dict[str, float] = {}
@@ -242,6 +280,10 @@ class WorldStats:
             "pack_wire_overlap_s": self.pack_wire_overlap_s,
             "pack_wire_overlap_fraction": self.pack_wire_overlap_fraction,
             "credit_wait_s": self.credit_wait_s,
+            "retransmits": self.retransmits,
+            "dup_drops": self.dup_drops,
+            "fallbacks": self.fallbacks,
+            "faults_injected": self.faults_injected,
             "metrics": dict(self.metrics),
         }
 
@@ -260,4 +302,12 @@ class WorldStats:
             f"overlap {self.pack_wire_overlap_fraction:.2f}",
             f"credit wait {self.credit_wait_s * 1e6:.1f}us",
         ]
+        faults = self.faults_injected
+        if faults or self.retransmits or self.dup_drops or self.fallbacks:
+            lines.append(
+                f"faults: {sum(faults.values())} injected {dict(sorted(faults.items()))}, "
+                f"{self.retransmits} retransmits, "
+                f"{self.dup_drops} dups dropped, "
+                f"fallbacks {dict(sorted(self.fallbacks.items()))}"
+            )
         return "\n".join(lines)

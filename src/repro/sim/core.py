@@ -28,6 +28,7 @@ __all__ = [
     "Future",
     "Process",
     "Simulator",
+    "TimerHandle",
     "all_of",
     "any_of",
 ]
@@ -191,13 +192,37 @@ class Process(Future):
             self._step(fut._value, None)
 
 
+class TimerHandle:
+    """A cancellable scheduled callback.
+
+    Returned by :meth:`Simulator.call_at` / :meth:`call_after`.  A
+    cancelled entry is skipped when it surfaces on the heap *without*
+    advancing the clock, so short-lived watchdog timers (retransmit
+    timeouts that are almost always cancelled by an ACK) leave the
+    simulated timeline untouched.
+    """
+
+    __slots__ = ("_fn",)
+
+    def __init__(self, fn: Callable[[], None]) -> None:
+        self._fn: Optional[Callable[[], None]] = fn
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing (idempotent)."""
+        self._fn = None
+
+    @property
+    def cancelled(self) -> bool:
+        return self._fn is None
+
+
 class Simulator:
     """Deterministic event loop with a floating-point clock."""
 
     def __init__(self) -> None:
         self._now = 0.0
         self._seq = 0
-        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._queue: list[tuple[float, int, TimerHandle]] = []
         self._events_processed = 0
 
     # -- clock ------------------------------------------------------------
@@ -211,24 +236,26 @@ class Simulator:
         return self._events_processed
 
     # -- scheduling primitives ---------------------------------------------
-    def call_at(self, when: float, fn: Callable[[], None]) -> None:
-        """Schedule a callback at an absolute simulated time."""
+    def call_at(self, when: float, fn: Callable[[], None]) -> TimerHandle:
+        """Schedule a callback at an absolute simulated time (cancellable)."""
         if when < self._now - 1e-18:
             raise SimulationError(
                 f"cannot schedule at {when} before current time {self._now}"
             )
-        heapq.heappush(self._queue, (max(when, self._now), self._seq, fn))
+        handle = TimerHandle(fn)
+        heapq.heappush(self._queue, (max(when, self._now), self._seq, handle))
         self._seq += 1
+        return handle
 
-    def call_after(self, delay: float, fn: Callable[[], None]) -> None:
-        """Schedule a callback ``delay`` seconds from now."""
+    def call_after(self, delay: float, fn: Callable[[], None]) -> TimerHandle:
+        """Schedule a callback ``delay`` seconds from now (cancellable)."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        self.call_at(self._now + delay, fn)
+        return self.call_at(self._now + delay, fn)
 
-    def call_soon(self, fn: Callable[[], None]) -> None:
+    def call_soon(self, fn: Callable[[], None]) -> TimerHandle:
         """Schedule a callback at the current time (after queued events)."""
-        self.call_at(self._now, fn)
+        return self.call_at(self._now, fn)
 
     # -- futures ------------------------------------------------------------
     def future(self, label: str = "") -> Future:
@@ -252,14 +279,18 @@ class Simulator:
         Returns the simulated time when execution stopped.
         """
         while self._queue:
-            when, _, fn = self._queue[0]
+            when, _, handle = self._queue[0]
+            if handle._fn is None:
+                # cancelled: discard without touching the clock
+                heapq.heappop(self._queue)
+                continue
             if until is not None and when > until:
                 self._now = until
                 return self._now
             heapq.heappop(self._queue)
             self._now = when
             self._events_processed += 1
-            fn()
+            handle._fn()
         return self._now
 
     def run_until_complete(self, proc: Future, limit: float = 1e9) -> Any:

@@ -25,3 +25,26 @@ def test_smoke_cli_entry(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "smoke: all protocols OK" in out
     assert os.listdir(tmp_path)
+
+
+def test_faults_smoke_chaos_leg():
+    from repro.bench.smoke import run_faults_smoke
+
+    assert run_faults_smoke("seed=3", verbose=False) == 0
+
+
+def test_faults_smoke_cli_entry(capsys):
+    from repro.bench.__main__ import main
+
+    assert main(["--smoke", "--faults", "seed=3"]) == 0
+    out = capsys.readouterr().out
+    assert "byte-exact" in out
+
+
+def test_faults_cli_requires_smoke():
+    import pytest
+
+    from repro.bench.__main__ import main
+
+    with pytest.raises(SystemExit):
+        main(["--faults", "seed=3"])

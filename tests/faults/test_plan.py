@@ -1,0 +1,115 @@
+"""Unit tests for the fault model: spec parsing, seeding, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.plan import AmFault, FaultPlan, FaultSpec
+
+
+class TestFaultSpec:
+    def test_defaults_inactive(self):
+        spec = FaultSpec()
+        assert not spec.active
+
+    def test_any_probability_activates(self):
+        assert FaultSpec(am_drop=0.1).active
+        assert FaultSpec(ipc_open_fail=0.1).active
+        assert FaultSpec(staging_fail=0.1).active
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec(am_drop=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec(am_dup=-0.1)
+        with pytest.raises(ValueError):
+            FaultSpec(am_delay_s=-1.0)
+        with pytest.raises(ValueError):
+            FaultSpec(max_faults=-1)
+
+    def test_parse_basic(self):
+        spec = FaultSpec.parse("seed=3,am_drop=0.1,am_delay=0.25")
+        assert spec.seed == 3
+        assert spec.am_drop == 0.1
+        assert spec.am_delay == 0.25
+        assert spec.am_dup == 0.0
+
+    def test_parse_targets(self):
+        spec = FaultSpec.parse("targets=frag+ack+done")
+        assert spec.targets == ("frag", "ack", "done")
+
+    def test_parse_max_faults(self):
+        assert FaultSpec.parse("max_faults=5").max_faults == 5
+
+    def test_parse_empty_is_default(self):
+        assert FaultSpec.parse("") == FaultSpec()
+
+    def test_parse_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault knob"):
+            FaultSpec.parse("am_drp=0.1")
+
+    def test_parse_bad_entry_rejected(self):
+        with pytest.raises(ValueError, match="key=value"):
+            FaultSpec.parse("am_drop")
+
+    def test_parse_validates(self):
+        with pytest.raises(ValueError):
+            FaultSpec.parse("am_drop=2.0")
+
+
+def _decisions(plan: FaultPlan, n: int = 60) -> list:
+    return [plan.am_decision("x1.r.frag") for _ in range(n)]
+
+
+class TestFaultPlan:
+    def test_same_seed_same_plan(self):
+        spec = FaultSpec(seed=42, am_drop=0.2, am_dup=0.2, am_delay=0.2)
+        assert _decisions(FaultPlan(spec)) == _decisions(FaultPlan(spec))
+
+    def test_different_seed_different_plan(self):
+        a = FaultSpec(seed=1, am_drop=0.3, am_dup=0.3)
+        b = FaultSpec(seed=2, am_drop=0.3, am_dup=0.3)
+        assert _decisions(FaultPlan(a)) != _decisions(FaultPlan(b))
+
+    def test_non_target_handlers_untouched_and_rng_free(self):
+        """Control-plane messages never fault AND never perturb the plan."""
+        spec = FaultSpec(seed=9, am_drop=0.5)
+        a, b = FaultPlan(spec), FaultPlan(spec)
+        for _ in range(20):
+            assert a.am_decision("x1.r.cts") is None
+            assert a.am_decision("pml.rts") is None
+        # plan a consulted only control handlers so far: its data-plane
+        # future must match a fresh plan's exactly
+        assert _decisions(a) == _decisions(b)
+
+    def test_drop_probability_one_always_drops(self):
+        plan = FaultPlan(FaultSpec(seed=0, am_drop=1.0))
+        for d in _decisions(plan, 10):
+            assert d == AmFault(drop=True)
+
+    def test_max_faults_caps_injection(self):
+        plan = FaultPlan(FaultSpec(seed=0, am_drop=1.0, max_faults=3))
+        decisions = _decisions(plan, 10)
+        assert sum(d is not None for d in decisions) == 3
+        assert plan.injected == 3
+
+    def test_delay_carries_configured_duration(self):
+        plan = FaultPlan(FaultSpec(seed=0, am_delay=1.0, am_delay_s=1e-3))
+        d = plan.am_decision("x1.r.frag")
+        assert d is not None and d.delay_s == 1e-3 and not d.drop
+
+    def test_counters_track_injections(self):
+        plan = FaultPlan(FaultSpec(seed=0, am_drop=1.0, max_faults=4))
+        _decisions(plan, 10)
+        snap = plan.metrics.snapshot()
+        assert snap.get("faults.am_drop") == 4
+
+    def test_staging_counter_carries_kind(self):
+        plan = FaultPlan(FaultSpec(seed=0, staging_fail=1.0))
+        assert plan.fail_staging("device")
+        assert plan.metrics.snapshot().get("faults.staging_fail.device") == 1
+
+    def test_ipc_open_fail(self):
+        plan = FaultPlan(FaultSpec(seed=0, ipc_open_fail=1.0))
+        assert plan.fail_ipc_open()
+        assert not FaultPlan(FaultSpec(seed=0)).fail_ipc_open()

@@ -1,0 +1,56 @@
+"""MpiConfig / RetryPolicy constructor validation (fail fast, not deep
+inside a protocol coroutine with a cryptic ZeroDivisionError)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mpi.config import MpiConfig, RetryPolicy
+
+
+def test_defaults_are_valid():
+    cfg = MpiConfig()
+    assert cfg.frag_bytes > 0 and cfg.pipeline_depth > 0
+
+
+def test_but_keeps_validation():
+    cfg = MpiConfig().but(frag_bytes=4096)
+    assert cfg.frag_bytes == 4096
+    with pytest.raises(ValueError):
+        MpiConfig().but(frag_bytes=0)
+
+
+@pytest.mark.parametrize(
+    "kw",
+    [
+        dict(frag_bytes=0),
+        dict(frag_bytes=-1),
+        dict(pipeline_depth=0),
+        dict(eager_limit=-1),
+        dict(rdma_mode="push"),
+    ],
+    ids=lambda kw: next(iter(kw.items()))[0] + "=" + str(next(iter(kw.values()))),
+)
+def test_bad_config_rejected(kw):
+    with pytest.raises(ValueError):
+        MpiConfig(**kw)
+
+
+@pytest.mark.parametrize(
+    "kw",
+    [
+        dict(rto=0.0),
+        dict(rto=-1.0),
+        dict(backoff=0.5),
+        dict(max_retries=-1),
+        dict(ipc_open_retries=-1),
+    ],
+)
+def test_bad_retry_policy_rejected(kw):
+    with pytest.raises(ValueError):
+        RetryPolicy(**kw)
+
+
+def test_retry_policy_defaults_valid():
+    rp = RetryPolicy()
+    assert rp.rto > 0 and rp.backoff >= 1.0 and rp.max_retries >= 0

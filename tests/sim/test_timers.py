@@ -1,0 +1,38 @@
+"""Cancellable timers: the retransmit machinery's substrate."""
+
+from __future__ import annotations
+
+
+def test_cancelled_timer_never_fires(sim):
+    fired = []
+    sim.call_after(1.0, lambda: fired.append("event"))
+    handle = sim.call_after(5.0, lambda: fired.append("timer"))
+    handle.cancel()
+    end = sim.run()
+    assert fired == ["event"]
+    # a cancelled entry must not drag the clock to its deadline
+    assert end == 1.0
+
+
+def test_cancelled_property(sim):
+    handle = sim.call_after(1.0, lambda: None)
+    assert not handle.cancelled
+    handle.cancel()
+    assert handle.cancelled
+
+
+def test_cancel_after_fire_is_noop(sim):
+    fired = []
+    handle = sim.call_after(1.0, lambda: fired.append(1))
+    sim.run()
+    assert fired == [1]
+    handle.cancel()  # must not raise
+    assert handle.cancelled
+
+
+def test_cancel_is_idempotent(sim):
+    handle = sim.call_after(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    assert handle.cancelled
+    assert sim.run() == 0.0
