@@ -57,7 +57,24 @@ def main(argv=None) -> int:
         "byte-exact delivery; SPEC is 'key=value,...' overriding the "
         "chaos defaults, e.g. 'seed=3,am_drop=0.2'",
     )
+    parser.add_argument(
+        "--sanitize",
+        metavar="WHICH",
+        nargs="?",
+        const="all",
+        default=None,
+        help="install the repro.sanitize checkers for the run "
+        "(WHICH: 'all' or a csv of mem,race,dev; default all); any "
+        "violation aborts with a non-zero exit.  Off by default — "
+        "benchmark numbers are only meaningful uninstrumented",
+    )
     args = parser.parse_args(argv)
+
+    if args.sanitize is not None:
+        from repro import sanitize
+        from repro.sanitize.options import SanitizeOptions
+
+        sanitize.enable(SanitizeOptions.parse(args.sanitize))
 
     if args.smoke:
         if args.faults is not None:

@@ -35,6 +35,7 @@ from repro.hw.gpu import Gpu, KernelStats, Stream
 from repro.hw.memory import Buffer
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.stats import EngineStats
+from repro.sanitize import runtime as _san
 from repro.sim.core import Future, all_of
 
 __all__ = ["EngineOptions", "Fragment", "PackJob", "GpuDatatypeEngine"]
@@ -102,6 +103,11 @@ class PackJob:
         self.units: Optional[WorkUnits] = None
         self._prepped_units = 0
         self._prep_charged = False
+        #: in-flight preparation (see :meth:`prepare_for`): fragments whose
+        #: units were claimed by an earlier, still-running prep must wait
+        #: for it — launching their kernel early would consume DEV
+        #: descriptors the CPU has not finished building
+        self._prep_fut: Optional[Future] = None
         if shape is None:
             cached = None
             if options.use_cache:
@@ -117,6 +123,16 @@ class PackJob:
                     # this job still pays it (first use warms the cache)
                     engine.cache.put(dt, count, self.unit_size, units=self.units)
         self.stream = engine.stream
+        if _san.MEM is not None:
+            _san.MEM.check_gpu_path(
+                user_buf,
+                mapped=not user_buf.is_host or is_mapped_host(user_buf),
+                what=f"PackJob({direction}, {dt.kind}x{count})",
+            )
+        if _san.DEV is not None and self.units is not None:
+            _san.DEV.check_job(
+                dt, count, self.unit_size, self.units, cache_hit=self._prep_charged
+            )
 
     # -- planning ------------------------------------------------------------
     @property
@@ -234,9 +250,10 @@ class PackJob:
         upload = (n * 24) / self.gpu.h2d_link.bandwidth
         cost = self.prep_time(n) + upload
         self.engine._m_prep.observe(cost)
-        return node.cpu_prep_engine.transfer(
+        self._prep_fut = node.cpu_prep_engine.transfer(
             0, extra_overhead=cost, label="dev-prep"
         )
+        return self._prep_fut
 
     # -- kernel (GPU stage) ------------------------------------------------------
     def kernel_stats(self, frag: Fragment) -> KernelStats:
@@ -263,11 +280,39 @@ class PackJob:
 
     def _move(self, frag: Fragment, contig: Buffer) -> None:
         """The actual byte movement for the fragment (at kernel completion)."""
+        if self.direction != "pack" and _san.MEM is not None:
+            # an unpack kernel reads the contiguous source; flag segments
+            # nothing ever filled (checked before .bytes marks them valid)
+            _san.MEM.check_read(
+                contig, 0, frag.nbytes, what=f"unpack-kernel[{frag.index}]"
+            )
         view = contig.bytes
         if self.direction == "pack":
             self.convertor.pack_range(view, frag.lo, frag.hi)
         else:
             self.convertor.unpack_range(view, frag.lo, frag.hi)
+
+    def _user_hull(self, frag: Fragment):
+        """Byte hull of the user-buffer ranges a fragment's kernel touches
+        (race-detector bookkeeping; conservative, clamped to the buffer)."""
+        if frag.unit_hi <= frag.unit_lo:
+            return None
+        if self.uses_vector_kernel:
+            shape = self.vector_shape
+            a = shape.first_disp + frag.unit_lo * shape.stride
+            b = shape.first_disp + (frag.unit_hi - 1) * shape.stride
+            lo, hi = min(a, b), max(a, b) + shape.blocklength
+        else:
+            units = self.units
+            src = units.src_disps[frag.unit_lo : frag.unit_hi]
+            lens = units.lens[frag.unit_lo : frag.unit_hi]
+            lo = int(src.min())
+            hi = int((src + lens).max())
+        lo = max(0, min(lo, self.user_buf.nbytes))
+        hi = max(lo, min(hi, self.user_buf.nbytes))
+        if hi <= lo:
+            return None
+        return (self.user_buf, lo, hi)
 
     def run_kernel(
         self,
@@ -308,12 +353,25 @@ class PackJob:
         self.engine._m_kernel.observe(duration)
         self.engine._m_fragments.inc()
         self.engine._m_bytes.inc(frag.nbytes)
+        reads: tuple = ()
+        writes: tuple = ()
+        if _san.RACE is not None:
+            hull = self._user_hull(frag)
+            contig_rng = (contig, 0, frag.nbytes)
+            if self.direction == "pack":
+                reads = (hull,) if hull else ()
+                writes = (contig_rng,)
+            else:
+                reads = (contig_rng,)
+                writes = (hull,) if hull else ()
         return stream.enqueue(
             duration,
             fn=lambda: self._move(frag, contig),
             label=f"{self.direction}-kernel[{frag.index}]",
             co_links=co_links,
             nbytes=frag.nbytes,
+            reads=reads,
+            writes=writes,
         )
 
     def _remote_link(self, contig: Buffer):
@@ -362,6 +420,15 @@ class PackJob:
         the non-pipelined curves of Fig 7).
         """
         if self._prep_needed(frag) == 0:
+            # covered by an earlier prepare() -- which may still be in
+            # flight when fragment chains run concurrently (the receiver
+            # spawns one per arriving notification).  Skipping ahead of a
+            # pending prep would enqueue this fragment's kernel before
+            # fragment 0's, generating ACKs out of fragment order and
+            # breaking the in-order assumption the non-reliable ring
+            # slot-reuse fast path depends on.
+            if self._prep_fut is not None and not self._prep_fut.done:
+                return self._prep_fut
             return None
         if self.options.pipeline_prep:
             return self.prepare(frag)

@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.hw.memory import Buffer, Memory, MemoryKind
 from repro.hw.params import GpuParams
+from repro.sanitize import runtime as _san
 from repro.sim.core import Future, Simulator
 from repro.sim.resources import FifoLink
 from repro.sim.trace import Tracer
@@ -85,6 +86,10 @@ class Stream:
     def busy_until(self) -> float:
         return self._busy_until
 
+    @property
+    def _san_actor(self) -> str:
+        return f"{self.gpu.name}.{self.name}"
+
     def enqueue(
         self,
         duration: float,
@@ -93,11 +98,17 @@ class Stream:
         co_links: Sequence[FifoLink] = (),
         nbytes: int = 0,
         payload=None,
+        reads: Sequence = (),
+        writes: Sequence = (),
     ) -> Future:
         """Schedule an operation of ``duration`` seconds on this stream.
 
         The operation starts when the stream *and* all co-occupied links
         are free; ``fn`` (the actual byte movement) runs at completion.
+
+        ``reads``/``writes`` declare the Buffer ranges the operation
+        touches (``Buffer`` or ``(Buffer, lo, hi)``) for the race
+        detector; they are ignored unless it is enabled.
         """
         if duration < 0:
             raise ValueError(f"stream {self.name}: negative duration")
@@ -114,6 +125,12 @@ class Stream:
                 f"{self.gpu.name}.{self.name}", start, end, label, nbytes
             )
         fut = Future(self.sim, label=label or f"{self.gpu.name}.{self.name}.op")
+        if _san.RACE is not None:
+            # launch order is an HB edge into the stream; the completion
+            # future carries the stream's clock (incl. these accesses) out
+            fut._san_snap = _san.RACE.stream_op(
+                self._san_actor, reads, writes, label=label or "stream-op"
+            )
 
         def complete() -> None:
             if fn is not None:
@@ -126,6 +143,9 @@ class Stream:
     def synchronize(self) -> Future:
         """A future resolving when everything queued so far has finished."""
         fut = Future(self.sim, label=f"{self.name}.sync")
+        if _san.RACE is not None:
+            # sync waits for all queued work: waiter inherits the stream clock
+            fut._san_snap = _san.RACE.actor_snapshot(self._san_actor)
         self.sim.call_at(max(self.sim.now, self._busy_until), fut.resolve)
         return fut
 
@@ -321,6 +341,10 @@ class Gpu:
         nbytes = src.nbytes
 
         def move() -> None:
+            # MSan-style: a raw copy of uninitialized bytes is benign and
+            # propagates (the .bytes accessors handle use-after-free);
+            # uninit *reads* are flagged where bytes are interpreted --
+            # pack/unpack kernels and the CPU pipeline stages
             dst.bytes[:nbytes] = src.bytes
 
         return stream.enqueue(
@@ -329,6 +353,8 @@ class Gpu:
             label=label,
             co_links=(self.copy_engine,),
             nbytes=nbytes,
+            reads=((src, 0, nbytes),),
+            writes=((dst, 0, nbytes),),
         )
 
     def _pcie_copy(
@@ -346,10 +372,20 @@ class Gpu:
         duration = link.overhead + nbytes / link.bandwidth + link.latency
 
         def move() -> None:
+            # MSan-style: a raw copy of uninitialized bytes is benign and
+            # propagates (the .bytes accessors handle use-after-free);
+            # uninit *reads* are flagged where bytes are interpreted --
+            # pack/unpack kernels and the CPU pipeline stages
             dst.bytes[:nbytes] = src.bytes
 
         return stream.enqueue(
-            duration, fn=move, label=label, co_links=(link,), nbytes=nbytes
+            duration,
+            fn=move,
+            label=label,
+            co_links=(link,),
+            nbytes=nbytes,
+            reads=((src, 0, nbytes),),
+            writes=((dst, 0, nbytes),),
         )
 
     def memcpy_d2h(

@@ -20,6 +20,8 @@ from typing import Iterator, Optional
 
 import numpy as np
 
+from repro.sanitize import runtime as _san
+
 __all__ = ["MemoryKind", "OutOfMemory", "Memory", "Allocation", "Buffer"]
 
 
@@ -50,12 +52,31 @@ _alloc_ids = itertools.count()
 class Allocation:
     """One materialized block inside a :class:`Memory`."""
 
-    __slots__ = ("memory", "alloc_id", "nbytes", "data", "freed", "label")
+    __slots__ = (
+        "memory",
+        "alloc_id",
+        "nbytes",
+        "requested_nbytes",
+        "data",
+        "freed",
+        "label",
+    )
 
-    def __init__(self, memory: "Memory", nbytes: int, label: str = "") -> None:
+    def __init__(
+        self,
+        memory: "Memory",
+        nbytes: int,
+        label: str = "",
+        requested_nbytes: Optional[int] = None,
+    ) -> None:
         self.memory = memory
         self.alloc_id = next(_alloc_ids)
+        #: the *rounded* size — in-use accounting charges and refunds this
+        #: field on both sides, so alignment slack can never leak
         self.nbytes = nbytes
+        #: the caller-requested (pre-rounding) size; bytes beyond it are
+        #: the alignment redzone
+        self.requested_nbytes = nbytes if requested_nbytes is None else requested_nbytes
         self.data = np.zeros(nbytes, dtype=np.uint8)
         self.freed = False
         self.label = label
@@ -100,7 +121,9 @@ class Memory:
         self.bytes_in_use += rounded
         self.peak_bytes_in_use = max(self.peak_bytes_in_use, self.bytes_in_use)
         self.live_allocations += 1
-        allocation = Allocation(self, rounded, label=label)
+        allocation = Allocation(self, rounded, label=label, requested_nbytes=nbytes)
+        if _san.MEM is not None:
+            _san.MEM.on_alloc(allocation)
         return Buffer(allocation, 0, nbytes, label=label)
 
     def free(self, allocation: Allocation) -> None:
@@ -112,6 +135,8 @@ class Memory:
         allocation.freed = True
         self.bytes_in_use -= allocation.nbytes
         self.live_allocations -= 1
+        if _san.MEM is not None:
+            _san.MEM.on_free(allocation)
 
     @property
     def bytes_free(self) -> int:
@@ -145,6 +170,8 @@ class Buffer:
         self.offset = offset
         self.nbytes = nbytes
         self.label = label
+        if _san.MEM is not None:
+            _san.MEM.on_buffer(self)
 
     # -- placement predicates -------------------------------------------
     @property
@@ -173,7 +200,11 @@ class Buffer:
     def bytes(self) -> np.ndarray:
         """A mutable ``uint8`` view of the buffer's contents."""
         if self.allocation.freed:
+            if _san.MEM is not None:
+                _san.MEM.on_use_after_free(self)
             raise ValueError(f"use after free: {self!r}")
+        if _san.MEM is not None:
+            _san.MEM.on_touch(self)
         return self.allocation.data[self.offset : self.offset + self.nbytes]
 
     def view(self, dtype: np.dtype | str) -> np.ndarray:
@@ -222,7 +253,18 @@ class Buffer:
             yield self[lo : min(lo + chunk, self.nbytes)]
 
     def free(self) -> None:
-        """Free the underlying allocation."""
+        """Free the underlying allocation.
+
+        Only the original whole-allocation handle may free: freeing a
+        sub-buffer would silently release bytes other live handles still
+        alias.
+        """
+        if self.offset != 0 or self.nbytes != self.allocation.requested_nbytes:
+            raise ValueError(
+                f"cannot free sub-buffer {self!r} (allocation spans "
+                f"[0, {self.allocation.requested_nbytes})); free() must be "
+                f"called on the original allocation handle"
+            )
         self.memory.free(self.allocation)
 
     def __len__(self) -> int:

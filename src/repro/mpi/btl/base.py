@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, Any, Optional
 import numpy as np
 
 from repro.mpi.message import AmPacket, Envelope
+from repro.sanitize import runtime as _san
 from repro.sim.core import Future
 
 if TYPE_CHECKING:
@@ -84,11 +85,25 @@ class Btl(ABC):
         done = Future(self.src.sim, label=f"am:{handler}")
         sim = self.src.sim
         faults = getattr(self.src, "faults", None)
+        # network delivery is a happens-before edge from the *send*: the
+        # handler runs under the destination's AM actor joined with the
+        # sender's clock at am_send time
+        snap = None if _san.RACE is None else _san.RACE.snapshot()
+
+        def dispatch() -> None:
+            if _san.RACE is not None:
+                _san.RACE.deliver_am(
+                    f"am.r{self.dst.rank}",
+                    snap,
+                    lambda: self.dst.dispatch(packet, self),
+                )
+            else:
+                self.dst.dispatch(packet, self)
 
         def deliver(_f: Future) -> None:
             fault = faults.am_decision(handler) if faults is not None else None
             if fault is None:
-                self.dst.dispatch(packet, self)
+                dispatch()
                 done.resolve(packet)
                 return
             if fault.drop:
@@ -98,13 +113,13 @@ class Btl(ABC):
                 return
 
             def arrive() -> None:
-                self.dst.dispatch(packet, self)
+                dispatch()
                 if not done.done:
                     done.resolve(packet)
                 if fault.dup:
                     # the duplicate trails the original, as a spurious
                     # retransmission would
-                    sim.call_soon(lambda: self.dst.dispatch(packet, self))
+                    sim.call_soon(dispatch)
 
             if fault.delay_s > 0.0:
                 sim.call_after(fault.delay_s, arrive)

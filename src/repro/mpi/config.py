@@ -14,6 +14,7 @@ from typing import Optional
 
 from repro.faults.plan import FaultSpec
 from repro.gpu_engine.engine import EngineOptions
+from repro.sanitize.options import SanitizeOptions
 
 __all__ = ["MpiConfig", "RetryPolicy"]
 
@@ -89,6 +90,9 @@ class MpiConfig:
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     #: fault-injection plan (None = no injection); see repro.faults
     faults: Optional[FaultSpec] = None
+    #: correctness checkers (docs/SANITIZERS.md); defaults to the
+    #: ``REPRO_SANITIZE`` environment contract — all off when unset
+    sanitize: SanitizeOptions = field(default_factory=SanitizeOptions.from_env)
 
     def __post_init__(self) -> None:
         if self.eager_limit < 0:

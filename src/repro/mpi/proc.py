@@ -12,6 +12,7 @@ from repro.mpi.matching import MatchingEngine
 from repro.mpi.message import AmPacket
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.stats import TransferStats
+from repro.sanitize import runtime as _san
 from repro.sim.core import Simulator
 
 if TYPE_CHECKING:
@@ -90,7 +91,18 @@ class MpiProcess:
         key = (kind, nbytes, zero_copy_map)
         pool = self._staging_pool.setdefault(key, [])
         if pool:
-            return pool.pop()
+            buf, snap = pool.pop()
+            if _san.MEM is not None:
+                # pooled reuse is logically a fresh allocation: stale
+                # contents from the previous transfer must read as
+                # uninitialized, not as valid data
+                _san.MEM.repoison(buf)
+            if _san.RACE is not None and snap is not None:
+                # allocator-recycling edge: the releaser's clock orders
+                # the previous user's accesses before ours (the moral
+                # equivalent of malloc/free happens-before in TSan)
+                _san.RACE.join_actor(_san.RACE.current, snap)
+            return buf
         if kind == "device":
             if self.gpu is None:
                 raise RuntimeError(f"rank {self.rank} has no GPU for staging")
@@ -104,7 +116,8 @@ class MpiProcess:
 
     def release_staging(self, kind: str, buf, zero_copy_map: bool = False) -> None:
         """Return a staging buffer to its pool."""
-        self._staging_pool[(kind, buf.nbytes, zero_copy_map)].append(buf)
+        snap = None if _san.RACE is None else _san.RACE.snapshot()
+        self._staging_pool[(kind, buf.nbytes, zero_copy_map)].append((buf, snap))
 
     @property
     def engine(self) -> GpuDatatypeEngine:

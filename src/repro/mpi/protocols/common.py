@@ -14,6 +14,7 @@ from repro.faults.plan import IpcOpenError, TransferTimeout
 from repro.gpu_engine.engine import PackJob
 from repro.hw.memory import Buffer
 from repro.obs.stats import TransferStats
+from repro.sanitize import runtime as _san
 from repro.sim.core import Future, TimerHandle
 from repro.sim.resources import Mailbox, Semaphore
 
@@ -152,12 +153,18 @@ class TransferState:
         )
         #: sender side: fragment ids whose ACK has arrived
         self.acked: set[int] = set()
+        #: sanitizer: clock snapshot at each ACK's arrival; a slot_free
+        #: gate that finds its ACK already arrived inherits this stamp
+        self._ack_snaps: dict[int, dict] = {}
         self._retrans_timers: dict[int, TimerHandle] = {}
         self._all_acked: Optional[Future] = None
         self._acks_needed = 0
         #: receiver side: fragment ids seen / fully processed (dedupe)
         self._frags_seen: set[int] = set()
         self._frags_done: set[int] = set()
+        #: sanitizer: vector-clock snapshot at frag_done time, replayed on
+        #: re-ACKs so the unpack -> re-ACK happens-before edge is visible
+        self._done_snaps: dict[int, dict] = {}
         #: ring-slot reuse gates (see :meth:`slot_free`)
         self._slot_waiters: dict[int, list[Future]] = {}
         #: waits that must fail if the transfer times out (see _abort)
@@ -187,6 +194,10 @@ class TransferState:
             self.proc.metrics.counter("pml.dup_acks_dropped").inc()
             return
         self.acked.add(i)
+        if _san.RACE is not None:
+            # delivery-actor clock: includes the receiver's unpack chain
+            # (the ACK was sent after the fragment was fully retired)
+            self._ack_snaps[i] = _san.RACE.snapshot()
         timer = self._retrans_timers.pop(i, None)
         if timer is not None:
             timer.cancel()
@@ -215,6 +226,11 @@ class TransferState:
         fut = Future(self.proc.sim, label=f"{self.tid}.slot[{i}]")
         j = i - self.depth
         if not self.reliable or j < 0 or j in self.acked:
+            if _san.RACE is not None and j in self._ack_snaps:
+                # the gate is a no-op only because ACK(j) already landed;
+                # inherit that arrival's clock so slot reuse stays ordered
+                # after the receiver's unpack of fragment j
+                fut._san_snap = self._ack_snaps[j]
             fut.resolve(None)
             return fut
         self._slot_waiters.setdefault(j, []).append(fut)
@@ -263,13 +279,26 @@ class TransferState:
             # bytes even after the staging buffer underneath the caller's
             # view has been reused for a later fragment
             payload = np.array(payload, dtype=np.uint8)
-        self._transmit(int(header["i"]), header, payload, attempt=0)
+        # vector-clock snapshot of the sending context: a retransmission
+        # fires from a bare timer (no actor), but it still happens-after
+        # everything the original send did (the pack of this fragment)
+        snap = None if _san.RACE is None else _san.RACE.snapshot()
+        self._transmit(int(header["i"]), header, payload, attempt=0, snap=snap)
 
-    def _transmit(self, i: int, header: dict, payload, attempt: int) -> None:
+    def _transmit(
+        self, i: int, header: dict, payload, attempt: int, snap=None
+    ) -> None:
         if attempt:
             self.stats.retransmits += 1
             self.proc.metrics.counter("pml.retransmits").inc()
-        self.btl.am_send(self.peer("frag"), header, payload=payload)
+        if _san.RACE is not None and snap is not None:
+            _san.RACE.deliver_am(
+                f"{self.tid}.{self.role}.xmit",
+                snap,
+                lambda: self.btl.am_send(self.peer("frag"), header, payload=payload),
+            )
+        else:
+            self.btl.am_send(self.peer("frag"), header, payload=payload)
         if not self.reliable:
             return
         policy = self.proc.config.retry
@@ -288,7 +317,7 @@ class TransferState:
                     self._all_acked.fail(exc)
                 self._abort(exc)
                 return
-            self._transmit(i, header, payload, attempt + 1)
+            self._transmit(i, header, payload, attempt + 1, snap=snap)
 
         self._retrans_timers[i] = self.proc.sim.call_after(delay, fire)
 
@@ -307,12 +336,34 @@ class TransferState:
         self.stats.dup_frags_dropped += 1
         self.proc.metrics.counter("pml.dup_frags_dropped").inc()
         if i in self._frags_done:
-            self.btl.am_send(self.peer("ack"), {"i": i})
+            self._reack(i)
         return True
 
     def frag_done(self, i: int) -> None:
         """Mark a fragment fully processed (its ACK has been sent)."""
         self._frags_done.add(int(i))
+        if _san.RACE is not None:
+            self._done_snaps[int(i)] = _san.RACE.snapshot()
+
+    def _reack(self, i: int) -> None:
+        """Re-ACK a completed fragment (the original ACK may be lost).
+
+        The re-ACK is gated on ``_frags_done`` membership, which is only
+        set after the unpack chain retired the fragment — so it carries
+        the ``frag_done``-time clock snapshot to keep that ordering
+        visible to the race detector even though the sending context is
+        the dispatcher loop, not the unpack chain.
+        """
+        i = int(i)
+        snap = self._done_snaps.get(i)
+        if _san.RACE is not None and snap is not None:
+            _san.RACE.deliver_am(
+                f"{self.tid}.{self.role}.reack",
+                snap,
+                lambda: self.btl.am_send(self.peer("ack"), {"i": i}),
+            )
+        else:
+            self.btl.am_send(self.peer("ack"), {"i": i})
 
     def seal(self) -> None:
         """Keep answering late retransmissions after the transfer ends.
@@ -331,7 +382,7 @@ class TransferState:
 
             def tombstone(pkt, _btl) -> None:
                 self.proc.metrics.counter("pml.late_retransmits").inc()
-                self.btl.am_send(self.peer("ack"), {"i": pkt.header["i"]})
+                self._reack(pkt.header["i"])
 
         else:
             name = f"x{self.tid}.{self.role}.ack"
@@ -428,6 +479,8 @@ class CpuSideJob:
         self.proc = proc
         self.node = proc.node
         self.direction = direction
+        if _san.MEM is not None:
+            _san.MEM.check_cpu_path(buf, what=f"CpuSideJob({direction})")
         self.convertor = Convertor(dt, count, buf.bytes, direction)
         self.contiguous = dt.is_contiguous
         self.buf = buf
@@ -440,7 +493,25 @@ class CpuSideJob:
         Active Message payload).
         """
         n = hi - lo
-        view = stage.bytes if isinstance(stage, Buffer) else stage
+        if isinstance(stage, Buffer):
+            if self.direction != "pack" and _san.MEM is not None:
+                # unpack reads the staging segment; flag slots nothing
+                # filled (before .bytes conservatively marks them valid)
+                _san.MEM.check_read(stage, 0, n, what=f"cpu-unpack[{lo}:{hi}]")
+            view = stage.bytes
+        else:
+            view = stage
+        if _san.RACE is not None:
+            packing = self.direction == "pack"
+            _san.RACE.record(
+                self.buf, 0, self.buf.nbytes, not packing,
+                label=f"cpu-{self.direction}[{lo}:{hi}]",
+            )
+            if isinstance(stage, Buffer):
+                _san.RACE.record(
+                    stage, 0, n, packing,
+                    label=f"cpu-{self.direction}-stage[{lo}:{hi}]",
+                )
         if self.direction == "pack":
             def move() -> None:
                 self.convertor.pack_range(view, lo, hi)

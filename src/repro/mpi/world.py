@@ -49,6 +49,17 @@ class MpiWorld:
         self.bml = Bml()
         #: world-wide metrics store; ranks get ``r<rank>.``-scoped views
         self.metrics = MetricsRegistry()
+        if self.config.sanitize.any_enabled:
+            from repro import sanitize
+
+            # an install that is already live (a test's sanitize.enabled()
+            # context, or the session-level env install) wins: re-enabling
+            # here would override its raise/record mode and report
+            if not sanitize.is_enabled():
+                sanitize.enable(
+                    self.config.sanitize,
+                    metrics=self.metrics.scoped("sanitize."),
+                )
         #: one shared fault injector (None without a configured plan):
         #: all ranks draw from the same seeded RNG in event order
         self.faults: Optional[FaultPlan] = None

@@ -1,0 +1,123 @@
+"""``repro.sanitize`` — correctness tooling for the simulated GPU/MPI stack.
+
+Four coordinated checkers, all **off by default** (the instrumented hot
+paths test a single module global and do nothing):
+
+* :class:`~repro.sanitize.memsan.MemorySanitizer` — ASan-style shadow
+  state per allocation: poisoned (unwritten) bytes, redzone / OOB
+  sub-buffers, use-after-free, host/device memory-space confusion.
+* :class:`~repro.sanitize.race.RaceDetector` — vector-clock
+  happens-before tracking across sim processes, GPU streams, and active
+  messages; flags overlapping buffer accesses with no HB edge.
+* :class:`~repro.sanitize.devcheck.DevValidator` — every DEV/CUDA_DEV
+  work list must partition the packed typemap; cache hits must match a
+  fresh build.
+* :mod:`repro.sanitize.lint` — standalone AST lint
+  (``python -m repro.sanitize.lint``) for project invariants.
+
+Enable via :func:`enable` (or ``REPRO_SANITIZE=all`` in the environment —
+:class:`~repro.mpi.config.MpiConfig` picks it up automatically).  See
+``docs/SANITIZERS.md``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Optional
+
+from repro.sanitize import runtime
+from repro.sanitize.options import SanitizeOptions
+from repro.sanitize.report import SanitizerError, SanitizerReport, Violation
+
+__all__ = [
+    "SanitizeOptions",
+    "SanitizerError",
+    "SanitizerReport",
+    "Violation",
+    "enable",
+    "disable",
+    "is_enabled",
+    "report",
+    "enabled",
+]
+
+#: the process-wide report every installed checker writes into
+_report = SanitizerReport()
+
+
+def report() -> SanitizerReport:
+    """The shared :class:`SanitizerReport` (live even while disabled)."""
+    return _report
+
+
+def is_enabled() -> bool:
+    """True when any checker is currently installed."""
+    return runtime.active()
+
+
+def enable(
+    options: Optional[SanitizeOptions] = None,
+    metrics=None,
+    mode: Optional[str] = None,
+) -> SanitizerReport:
+    """Install the checkers selected by ``options`` (default: all).
+
+    Idempotent: re-enabling keeps already-installed checker instances
+    (and their shadow state / clocks) and only fills in missing ones.
+    ``metrics`` (a :class:`repro.obs.metrics.MetricsRegistry`, typically
+    scoped ``"sanitize."``) attaches a counter sink; ``mode`` overrides
+    the report's raise/record behaviour.
+    """
+    if options is None:
+        options = SanitizeOptions.all()
+    if mode is not None:
+        _report.mode = mode
+    else:
+        _report.mode = options.mode
+    if metrics is not None:
+        _report.metrics = metrics
+
+    mem, race, dev = runtime.MEM, runtime.RACE, runtime.DEV
+    if options.memory and mem is None:
+        from repro.sanitize.memsan import MemorySanitizer
+
+        mem = MemorySanitizer(_report)
+    if options.race and race is None:
+        from repro.sanitize.race import RaceDetector
+
+        race = RaceDetector(_report)
+    if options.dev and dev is None:
+        from repro.sanitize.devcheck import DevValidator
+
+        dev = DevValidator(_report)
+    runtime.install(mem=mem, race=race, dev=dev)
+    return _report
+
+
+def disable() -> None:
+    """Uninstall every checker (the report keeps its findings)."""
+    runtime.clear()
+
+
+@contextmanager
+def enabled(
+    options: Optional[SanitizeOptions] = None,
+    metrics=None,
+    mode: Optional[str] = None,
+):
+    """Context manager: fresh checkers + isolated report for the block.
+
+    Saves and restores whatever was installed before (including nothing),
+    so tests can seed bugs in ``record`` mode without polluting — or
+    inheriting — the process-wide report used by an env-driven run.
+    """
+    global _report
+    saved_hooks = runtime.snapshot()
+    saved_report = _report
+    runtime.clear()
+    _report = SanitizerReport()
+    try:
+        yield enable(options, metrics=metrics, mode=mode)
+    finally:
+        _report = saved_report
+        runtime.restore(saved_hooks)

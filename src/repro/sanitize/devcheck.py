@@ -1,0 +1,127 @@
+"""DEV/CUDA_DEV work-list validator.
+
+The paper's GPU datatype engine compiles a datatype's typemap into a DEV
+list — (source displacement, packed destination offset, length) triples
+split into bounded work units — that pack kernels consume asynchronously.
+A malformed list corrupts data silently: overlapping destination ranges
+make later units clobber earlier ones, gaps leave ghost bytes, and a
+stale cache entry replays the wrong list for a new (datatype, count)
+shape.
+
+This validator asserts every list **partitions the packed buffer**:
+
+* destination offsets start at 0 and each unit begins exactly where the
+  previous one ended (no overlap, no gap),
+* every unit length is positive and bounded by the configured unit size,
+* the total packed length equals ``datatype.size * count``,
+* a cache *hit* yields a list identical to one freshly built from the
+  datatype (guards against cache-key collisions / mutation of cached
+  state).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sanitize.report import SanitizerReport
+
+__all__ = ["DevValidator"]
+
+
+class DevValidator:
+    """Work-list checker installed at :data:`repro.sanitize.runtime.DEV`."""
+
+    def __init__(self, report: SanitizerReport) -> None:
+        self.report = report
+
+    def check_job(self, dt, count, unit_size, units, cache_hit=False) -> None:
+        """Validate the WorkUnits a PackJob is about to hand to kernels."""
+        where = f"DEV({dt.kind}x{count}, unit={unit_size})"
+        n = len(units.src_disps)
+        if n == 0:
+            if dt.size * count != 0:
+                self.report.record(
+                    "dev",
+                    "dev.total_mismatch",
+                    f"empty DEV list for non-empty datatype: expected "
+                    f"{dt.size * count} packed bytes, list covers 0",
+                    where=where,
+                )
+            return
+        dst = units.dst_disps
+        lens = units.lens
+        if dst[0] != 0:
+            self.report.record(
+                "dev",
+                "dev.gap",
+                f"DEV list does not start at packed offset 0 (first unit "
+                f"dst={dst[0]}); bytes [0, {dst[0]}) are never written",
+                where=where,
+            )
+            return
+        expected = 0
+        for k in range(n):
+            if not (0 < lens[k] <= unit_size):
+                self.report.record(
+                    "dev",
+                    "dev.bad_len",
+                    f"unit {k} has length {lens[k]} outside (0, "
+                    f"{unit_size}] — zero/negative units are ghosts, "
+                    f"oversized units overflow the kernel's staging tile",
+                    where=where,
+                )
+                return
+            if dst[k] < expected:
+                self.report.record(
+                    "dev",
+                    "dev.overlap",
+                    f"unit {k} dst range [{dst[k]}, {dst[k] + lens[k]}) "
+                    f"overlaps unit {k - 1} which ends at {expected}; "
+                    f"later kernels would clobber already-packed bytes",
+                    where=where,
+                )
+                return
+            if dst[k] > expected:
+                self.report.record(
+                    "dev",
+                    "dev.gap",
+                    f"gap in DEV list before unit {k}: packed bytes "
+                    f"[{expected}, {dst[k]}) are never written",
+                    where=where,
+                )
+                return
+            expected = dst[k] + lens[k]
+        total = dt.size * count
+        if expected != total:
+            self.report.record(
+                "dev",
+                "dev.total_mismatch",
+                f"DEV list covers {expected} packed bytes but "
+                f"datatype.size * count = {total}",
+                where=where,
+            )
+            return
+        if cache_hit:
+            self._check_cache(dt, count, unit_size, units, where)
+
+    def _check_cache(self, dt, count, unit_size, units, where) -> None:
+        """Rebuild the list from scratch and compare with the cached one."""
+        from repro.gpu_engine.dev import to_devs
+        from repro.gpu_engine.work_units import split_units
+
+        fresh = split_units(to_devs(dt, count), unit_size)
+        if (
+            list(units.src_disps) != list(fresh.src_disps)
+            or list(units.dst_disps) != list(fresh.dst_disps)
+            or list(units.lens) != list(fresh.lens)
+        ):
+            self.report.record(
+                "dev",
+                "dev.cache_mismatch",
+                f"cached DEV list differs from a freshly-built one for "
+                f"({dt.kind}, count={count}, unit={unit_size}): cached "
+                f"{len(units.src_disps)} unit(s), fresh "
+                f"{len(fresh.src_disps)} — cache key collision or "
+                f"mutation of cached state",
+                where=where,
+            )

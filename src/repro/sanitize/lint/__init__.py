@@ -1,0 +1,215 @@
+"""Project lint pass — stdlib ``ast`` only, no third-party dependencies.
+
+Three rules, each guarding an invariant the simulation depends on:
+
+``SAN-L001`` **determinism** (``repro/sim``, ``repro/mpi``,
+    ``repro/gpu_engine``): no wall-clock reads (``time.time`` /
+    ``time_ns`` / ``monotonic`` / ``perf_counter``, ``datetime.now`` /
+    ``utcnow``), no ambient randomness (``random.*``, ``np.random.*``,
+    ``os.urandom``, ``uuid.uuid4``), and no iteration over ``set``
+    expressions (set iteration order varies with hash seeding).  The
+    simulator's virtual clock and seeded RNGs are the only legal sources;
+    a single wall-clock read makes every schedule — and therefore every
+    race/HB verdict — unreproducible.
+
+``SAN-L002`` **Buffer API** (``repro/mpi/protocols``): no raw
+    ``bytearray(...)`` construction.  Protocol code must move payload
+    through :class:`repro.hw.memory.Buffer` views so the memory
+    sanitizer's shadow state (and in-use accounting) sees every copy.
+
+``SAN-L003`` **metric identity** (everywhere scanned): a metric name
+    string must not be registered under two different instrument kinds
+    (``counter`` vs ``gauge`` vs ``histogram`` vs ``timer``).  The
+    registry raises at runtime only if the two registrations actually
+    execute in one process; the lint catches the conflict statically.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import NamedTuple
+
+__all__ = ["LintViolation", "run_lint", "lint_file", "iter_py_files"]
+
+#: directories (path fragments) where SAN-L001 determinism rules apply
+DETERMINISM_DIRS = ("repro/sim", "repro/mpi", "repro/gpu_engine")
+#: path fragment where SAN-L002 applies
+PROTOCOL_DIR = "repro/mpi/protocols"
+
+#: dotted-call prefixes that read wall clocks or ambient entropy
+_NONDET_CALLS = (
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "os.urandom",
+    "uuid.uuid4",
+)
+_NONDET_PREFIXES = (
+    "random.",
+    "np.random.",
+    "numpy.random.",
+)
+_METRIC_KINDS = ("counter", "gauge", "histogram", "timer")
+
+
+class LintViolation(NamedTuple):
+    path: str
+    line: int
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+
+def _dotted(node: ast.AST) -> str:
+    """Flatten an attribute chain rooted at a Name into 'a.b.c' ('' if not)."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _norm(path: str) -> str:
+    return path.replace(os.sep, "/")
+
+
+def lint_file(path: str, source: str, metric_sites: dict) -> list:
+    """Lint one file; appends metric registrations into ``metric_sites``
+    (name -> list of (kind, path, line)) for the cross-file SAN-L003 pass."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [LintViolation(path, exc.lineno or 0, "SAN-L000", f"syntax error: {exc.msg}")]
+
+    norm = _norm(path)
+    check_determinism = any(frag in norm for frag in DETERMINISM_DIRS)
+    check_protocol = PROTOCOL_DIR in norm
+    out: list = []
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            name = _dotted(node.func)
+            if check_determinism and name:
+                if name in _NONDET_CALLS or any(
+                    name.startswith(p) for p in _NONDET_PREFIXES
+                ):
+                    out.append(
+                        LintViolation(
+                            path,
+                            node.lineno,
+                            "SAN-L001",
+                            f"nondeterministic call {name}() in simulation "
+                            f"code; use the simulator clock / a seeded "
+                            f"numpy Generator threaded through config",
+                        )
+                    )
+            if (
+                check_protocol
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "bytearray"
+            ):
+                out.append(
+                    LintViolation(
+                        path,
+                        node.lineno,
+                        "SAN-L002",
+                        "raw bytearray() in protocol code bypasses the "
+                        "Buffer API (shadow memory and accounting cannot "
+                        "see the copy); stage through Buffer views",
+                    )
+                )
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _METRIC_KINDS
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                metric_sites.setdefault(node.args[0].value, []).append(
+                    (node.func.attr, path, node.lineno)
+                )
+        elif check_determinism and isinstance(node, (ast.For, ast.AsyncFor)):
+            it = node.iter
+            is_set = isinstance(it, (ast.Set, ast.SetComp)) or (
+                isinstance(it, ast.Call)
+                and isinstance(it.func, ast.Name)
+                and it.func.id in ("set", "frozenset")
+            )
+            if is_set:
+                out.append(
+                    LintViolation(
+                        path,
+                        node.lineno,
+                        "SAN-L001",
+                        "iteration over a set expression in simulation "
+                        "code; set order depends on hash seeding — "
+                        "iterate a sorted() or list/dict instead",
+                    )
+                )
+    return out
+
+
+def _metric_conflicts(metric_sites: dict) -> list:
+    """Cross-file pass: one metric name, two instrument kinds."""
+    out = []
+    for name, sites in sorted(metric_sites.items()):
+        kinds = sorted({kind for kind, _, _ in sites})
+        if len(kinds) <= 1:
+            continue
+        for kind, path, line in sites:
+            out.append(
+                LintViolation(
+                    path,
+                    line,
+                    "SAN-L003",
+                    f"metric {name!r} registered as .{kind}() here but "
+                    f"also as {', '.join('.' + k + '()' for k in kinds if k != kind)} "
+                    f"elsewhere; one name must map to one instrument kind",
+                )
+            )
+    return out
+
+
+def iter_py_files(paths) -> list:
+    """Expand files/directories into a sorted list of .py files."""
+    files = []
+    for p in paths:
+        if os.path.isdir(p):
+            for root, dirs, names in os.walk(p):
+                dirs.sort()
+                for n in sorted(names):
+                    if n.endswith(".py"):
+                        files.append(os.path.join(root, n))
+        elif p.endswith(".py"):
+            files.append(p)
+    return files
+
+
+def run_lint(paths) -> list:
+    """Lint every .py file under ``paths``; returns all violations."""
+    metric_sites: dict = {}
+    out: list = []
+    for path in iter_py_files(paths):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                source = fh.read()
+        except OSError as exc:
+            out.append(LintViolation(path, 0, "SAN-L000", f"unreadable: {exc}"))
+            continue
+        out.extend(lint_file(path, source, metric_sites))
+    out.extend(_metric_conflicts(metric_sites))
+    out.sort(key=lambda v: (v.path, v.line, v.code))
+    return out

@@ -1,0 +1,29 @@
+"""CLI: ``python -m repro.sanitize.lint [paths...]`` (default: ``src``).
+
+Prints one ``path:line: CODE message`` line per violation and exits 1 if
+any were found — suitable as a CI gate.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.sanitize.lint import run_lint
+
+
+def main(argv=None) -> int:
+    """Run the lint over ``argv`` paths (default ``src``); 0 = clean."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    paths = args or ["src"]
+    violations = run_lint(paths)
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"repro.sanitize.lint: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    print(f"repro.sanitize.lint: clean ({len(paths)} path(s) scanned)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

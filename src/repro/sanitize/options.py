@@ -1,0 +1,81 @@
+"""Sanitizer configuration: which checkers run, and how violations surface.
+
+Kept dependency-free so :mod:`repro.mpi.config` can embed a
+:class:`SanitizeOptions` in the frozen :class:`~repro.mpi.config.MpiConfig`
+without an import cycle.  The environment contract:
+
+``REPRO_SANITIZE``
+    ``all`` / ``1`` — every checker on; a comma list of ``mem``, ``race``,
+    ``dev`` — that subset; empty / ``0`` / ``off`` — disabled (default).
+
+``REPRO_SANITIZE_MODE``
+    ``raise`` (default) — the first violation raises
+    :class:`~repro.sanitize.report.SanitizerError` at the faulting
+    operation; ``record`` — violations collect silently in the report.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["SanitizeOptions", "ENV_VAR", "ENV_MODE_VAR"]
+
+ENV_VAR = "REPRO_SANITIZE"
+ENV_MODE_VAR = "REPRO_SANITIZE_MODE"
+
+_NAMES = {"mem": "memory", "memory": "memory", "race": "race", "dev": "dev"}
+
+
+@dataclass(frozen=True)
+class SanitizeOptions:
+    """Per-checker toggles (all off by default — zero overhead)."""
+
+    memory: bool = False
+    race: bool = False
+    dev: bool = False
+    mode: str = "raise"  # "raise" | "record"
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("raise", "record"):
+            raise ValueError(
+                f"sanitize mode must be 'raise' or 'record', got {self.mode!r}"
+            )
+
+    @property
+    def any_enabled(self) -> bool:
+        return self.memory or self.race or self.dev
+
+    @classmethod
+    def all(cls, mode: str = "raise") -> "SanitizeOptions":
+        """Every checker on."""
+        return cls(memory=True, race=True, dev=True, mode=mode)
+
+    @classmethod
+    def parse(cls, spec: str, mode: str = "raise") -> "SanitizeOptions":
+        """Parse a checker spec: 'all'/'1', 'off'/'0'/'', or 'mem,race,dev'."""
+        raw = spec.strip().lower()
+        if not raw or raw in ("0", "off", "none", "false"):
+            return cls(mode=mode)
+        if raw in ("all", "1", "on", "true"):
+            return cls.all(mode=mode)
+        fields = {"memory": False, "race": False, "dev": False}
+        for part in raw.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            name = _NAMES.get(part)
+            if name is None:
+                raise ValueError(
+                    f"sanitize spec {raw!r}: unknown checker {part!r} "
+                    f"(expected mem, race, dev, or all)"
+                )
+            fields[name] = True
+        return cls(mode=mode, **fields)
+
+    @classmethod
+    def from_env(cls) -> "SanitizeOptions":
+        """Parse ``REPRO_SANITIZE`` / ``REPRO_SANITIZE_MODE``."""
+        raw = os.environ.get(ENV_VAR, "")
+        mode = os.environ.get(ENV_MODE_VAR, "raise").strip().lower() or "raise"
+        return cls.parse(raw, mode=mode)

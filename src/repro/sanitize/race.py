@@ -1,0 +1,229 @@
+"""Happens-before race detector over the simulator.
+
+Every concurrent *actor* — a sim :class:`~repro.sim.core.Process`, a GPU
+:class:`~repro.hw.gpu.Stream`, an active-message delivery context — owns a
+**vector clock** (``dict[actor, int]``).  Happens-before edges are the
+exact synchronization primitives of the model:
+
+* resolving a :class:`~repro.sim.core.Future` stamps the resolver's clock
+  onto it; a process resumed by that future *joins* the stamp (this covers
+  ``Event.wait``, ``Stream.synchronize``, mailbox gets, semaphore
+  acquires, link transfers, ...),
+* ``Stream.enqueue`` joins the enqueuer's clock into the stream's clock
+  (kernel launch ordering) and the completion future carries the stream's
+  clock back out,
+* active-message delivery joins the *send-time* snapshot of the sender
+  into the destination's delivery actor (network ordering),
+* queued :class:`~repro.sim.resources.Mailbox` items and banked
+  :class:`~repro.sim.resources.Semaphore` tokens carry the snapshot of
+  the putter/releaser, so a credit released by fragment *i*'s ACK orders
+  the sender's reuse of slot ``i % depth``.
+
+Accesses to :class:`~repro.hw.memory.Buffer` ranges are recorded per
+allocation in **epoch** style: each record advances the acting actor's own
+clock component; a later access by a *different* actor to an overlapping
+byte range where at least one side writes is a race iff the later actor's
+clock has not caught up to the earlier access's tick — i.e. no
+happens-before chain connects them.  That is precisely the ring-slot
+reuse-before-ACK and pack-kernel vs. RDMA-read overlap hazard from the
+paper's asynchronous DEV pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.sanitize.report import SanitizerReport
+
+if TYPE_CHECKING:
+    from repro.hw.memory import Buffer
+
+__all__ = ["RaceDetector"]
+
+
+class _Access:
+    """One recorded range access (epoch: actor + that actor's tick)."""
+
+    __slots__ = ("lo", "hi", "is_write", "actor", "tick", "label")
+
+    def __init__(self, lo, hi, is_write, actor, tick, label):
+        self.lo = lo
+        self.hi = hi
+        self.is_write = is_write
+        self.actor = actor
+        self.tick = tick
+        self.label = label
+
+    def describe(self) -> str:
+        kind = "write" if self.is_write else "read"
+        return f"{kind} [{self.lo}, {self.hi}) by {self.actor!r} ({self.label})"
+
+
+class RaceDetector:
+    """Vector-clock checker installed at :data:`repro.sanitize.runtime.RACE`."""
+
+    def __init__(self, report: SanitizerReport, max_history: int = 128) -> None:
+        self.report = report
+        self.max_history = max_history
+        #: actor name -> vector clock (dict[actor, int])
+        self._clocks: dict[str, dict] = {"main": {}}
+        #: current-actor stack; the bottom "main" context covers test-harness
+        #: code running outside any Process/stream/AM delivery
+        self._stack: list[str] = ["main"]
+        #: alloc_id -> recent accesses (bounded)
+        self._access: dict[int, list] = {}
+        self._spawn_seq = 0
+
+    # -- clock plumbing -------------------------------------------------------
+    @property
+    def current(self) -> str:
+        return self._stack[-1]
+
+    def _clock(self, actor: str) -> dict:
+        c = self._clocks.get(actor)
+        if c is None:
+            c = {}
+            self._clocks[actor] = c
+        return c
+
+    def snapshot(self) -> dict:
+        """Copy of the current actor's clock (safe to stash on futures)."""
+        return dict(self._clock(self.current))
+
+    @staticmethod
+    def merge(a: Optional[dict], b: Optional[dict]) -> Optional[dict]:
+        """Pointwise max of two snapshots (either may be None)."""
+        if not a:
+            return dict(b) if b else a
+        if not b:
+            return dict(a)
+        out = dict(a)
+        for k, v in b.items():
+            if out.get(k, 0) < v:
+                out[k] = v
+        return out
+
+    def merge_with_context(self, snap: Optional[dict]) -> dict:
+        """Join the resolver's current clock into a future's stamp."""
+        return self.merge(snap, self._clock(self.current)) or {}
+
+    def join_actor(self, actor: str, snap: Optional[dict]) -> None:
+        """actor's clock := max(actor's clock, snap)."""
+        if not snap:
+            return
+        clock = self._clock(actor)
+        for k, v in snap.items():
+            if clock.get(k, 0) < v:
+                clock[k] = v
+
+    # -- actor contexts -------------------------------------------------------
+    def enter(self, actor: str) -> None:
+        """Push ``actor`` as the current execution context (reentrant)."""
+        self._stack.append(actor)
+
+    def exit(self) -> None:
+        """Pop the current execution context (the bottom 'main' stays)."""
+        if len(self._stack) > 1:
+            self._stack.pop()
+
+    def on_spawn(self, label: str) -> str:
+        """New Process actor; its clock starts at the spawner's snapshot
+        (spawn is a happens-before edge)."""
+        self._spawn_seq += 1
+        actor = f"proc.{label or 'anon'}#{self._spawn_seq}"
+        self._clocks[actor] = self.snapshot()
+        return actor
+
+    def on_resume(self, actor: str, snap: Optional[dict]) -> None:
+        """A process woke on a resolved future: join the future's stamp."""
+        self.join_actor(actor, snap)
+
+    # -- hook: GPU streams ----------------------------------------------------
+    def stream_op(
+        self,
+        actor: str,
+        reads: Sequence,
+        writes: Sequence,
+        label: str = "",
+    ) -> dict:
+        """An operation enqueued on a stream.
+
+        Joins the enqueuer's context into the stream's clock (launch
+        order is an HB edge), records the accesses under the stream
+        actor, and returns a snapshot of the stream clock for the
+        completion future.
+        """
+        self.join_actor(actor, self.snapshot())
+        self.enter(actor)
+        try:
+            for item in reads:
+                self._record_item(item, False, label)
+            for item in writes:
+                self._record_item(item, True, label)
+        finally:
+            self.exit()
+        return dict(self._clock(actor))
+
+    def actor_snapshot(self, actor: str) -> dict:
+        """Copy of an arbitrary actor's clock (e.g. for synchronize())."""
+        return dict(self._clock(actor))
+
+    # -- hook: active messages ------------------------------------------------
+    def deliver_am(self, actor: str, snap: Optional[dict], fn) -> None:
+        """Run an AM dispatch under the destination's delivery actor,
+        joined with the sender's send-time snapshot."""
+        self.join_actor(actor, snap)
+        self.enter(actor)
+        try:
+            fn()
+        finally:
+            self.exit()
+
+    # -- access recording -----------------------------------------------------
+    def _record_item(self, item, is_write: bool, label: str) -> None:
+        if isinstance(item, tuple):
+            buf, lo, hi = item
+        else:
+            buf, lo, hi = item, 0, item.nbytes
+        self.record(buf, lo, hi, is_write, label)
+
+    def record(
+        self, buf: "Buffer", lo: int, hi: int, is_write: bool, label: str = ""
+    ) -> None:
+        """Record an access to ``buf[lo:hi)`` by the current actor and
+        check it against recent accesses to the same allocation."""
+        if hi <= lo:
+            return
+        actor = self.current
+        clock = self._clock(actor)
+        # allocation-absolute range so aliasing sub-buffers (IPC-mapped
+        # views share the Allocation object) are compared correctly
+        a, b = buf.offset + lo, buf.offset + hi
+        history = self._access.setdefault(buf.allocation.alloc_id, [])
+        for prior in history:
+            if prior.actor == actor:
+                continue
+            if not (is_write or prior.is_write):
+                continue
+            if prior.hi <= a or b <= prior.lo:
+                continue
+            if clock.get(prior.actor, 0) >= prior.tick:
+                continue  # ordered: we have seen that access happen
+            cur = _Access(a, b, is_write, actor, clock.get(actor, 0) + 1, label)
+            self.report.record(
+                "race",
+                "race.unordered_access",
+                f"unsynchronized overlapping access to "
+                f"{buf.memory.name}#{buf.allocation.alloc_id} "
+                f"{buf.allocation.label!r}: earlier {prior.describe()} vs "
+                f"later {cur.describe()}; no happens-before edge orders "
+                f"them (missing event/ACK/synchronize between the two)",
+                where=label or actor,
+            )
+            break  # one report per access is enough to be actionable
+        # advance our own epoch and append
+        tick = clock.get(actor, 0) + 1
+        clock[actor] = tick
+        history.append(_Access(a, b, is_write, actor, tick, label))
+        if len(history) > self.max_history:
+            del history[: len(history) - self.max_history]

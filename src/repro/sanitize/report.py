@@ -1,0 +1,127 @@
+"""Structured sanitizer findings: :class:`Violation` and :class:`SanitizerReport`.
+
+Every checker funnels its findings through one shared report object so a
+test (or CI leg) can make a single assertion — ``report.violations == []``
+— regardless of which checkers ran.  In ``"raise"`` mode (the default) the
+first violation also raises :class:`SanitizerError` at the faulty
+operation, giving a stack trace that points at the bug, exactly like a
+compiler sanitizer aborting at the bad access.  ``"record"`` mode collects
+silently, which the intentionally-buggy fixture suite uses to inspect what
+was caught.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["Violation", "SanitizerError", "SanitizerReport"]
+
+#: hard cap on recorded violations — a hot-loop bug in record mode must
+#: not balloon memory; the counter keeps counting past the cap
+MAX_RECORDED = 1000
+
+
+class SanitizerError(AssertionError):
+    """Raised at the faulting operation when the report is in raise mode."""
+
+    def __init__(self, violation: "Violation") -> None:
+        super().__init__(str(violation))
+        self.violation = violation
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One sanitizer finding.
+
+    ``checker`` is the subsystem (``mem`` / ``race`` / ``dev``), ``code``
+    the violation class within it (e.g. ``mem.uninit_read``), ``where``
+    the operation/object the finding is anchored to, and ``message`` the
+    full human-actionable description (buffer, byte range, missing edge).
+    """
+
+    checker: str
+    code: str
+    message: str
+    where: str = ""
+    time_s: Optional[float] = None
+
+    def __str__(self) -> str:
+        at = f" @ t={self.time_s:g}s" if self.time_s is not None else ""
+        loc = f" [{self.where}]" if self.where else ""
+        return f"[{self.code}]{loc}{at} {self.message}"
+
+
+@dataclass
+class SanitizerReport:
+    """Shared sink for every checker's violations.
+
+    ``metrics`` may be a :class:`repro.obs.metrics.MetricsRegistry` (or
+    any object with a ``counter(name)`` method); each violation bumps a
+    ``violations.<code>`` counter plus the ``violations_total`` counter,
+    so world-level snapshots surface sanitizer activity alongside every
+    other metric.
+    """
+
+    mode: str = "raise"  # "raise" | "record"
+    violations: list = field(default_factory=list)
+    total: int = 0
+    metrics: Optional[object] = None
+
+    def record(
+        self,
+        checker: str,
+        code: str,
+        message: str,
+        where: str = "",
+        time_s: Optional[float] = None,
+        force_record: bool = False,
+    ) -> Violation:
+        """Register a finding; raises in raise mode unless ``force_record``.
+
+        ``force_record`` is for findings that already have a legacy
+        exception attached to the faulting operation (e.g. the
+        use-after-free ``ValueError`` in :class:`repro.hw.memory.Buffer`)
+        — the violation is recorded and counted, and the original
+        exception keeps its contract.
+        """
+        v = Violation(checker, code, message, where=where, time_s=time_s)
+        self.total += 1
+        if len(self.violations) < MAX_RECORDED:
+            self.violations.append(v)
+        if self.metrics is not None:
+            try:
+                self.metrics.counter("violations_total").inc()
+                self.metrics.counter(f"violations.{code}").inc()
+            except Exception:
+                pass  # a broken metrics sink must never mask the finding
+        if self.mode == "raise" and not force_record:
+            raise SanitizerError(v)
+        return v
+
+    def by_checker(self, checker: str) -> list:
+        """Recorded violations from one checker."""
+        return [v for v in self.violations if v.checker == checker]
+
+    def by_code(self, code: str) -> list:
+        """Recorded violations of one class."""
+        return [v for v in self.violations if v.code == code]
+
+    def clear(self) -> None:
+        """Forget every finding (counters in the metrics sink persist)."""
+        self.violations.clear()
+        self.total = 0
+
+    def summary(self) -> str:
+        """Human-readable digest, one line per violation class."""
+        if not self.total:
+            return "sanitize: clean (0 violations)"
+        counts: dict[str, int] = {}
+        for v in self.violations:
+            counts[v.code] = counts.get(v.code, 0) + 1
+        lines = [f"sanitize: {self.total} violation(s)"]
+        for code in sorted(counts):
+            lines.append(f"  {code}: {counts[code]}")
+        if self.total > len(self.violations):
+            lines.append(f"  ... {self.total - len(self.violations)} not recorded (cap)")
+        return "\n".join(lines)

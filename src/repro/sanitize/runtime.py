@@ -1,0 +1,55 @@
+"""Global sanitizer hook registry — the only sanitize module hot paths import.
+
+The instrumented core modules (:mod:`repro.hw.memory`, :mod:`repro.hw.gpu`,
+:mod:`repro.sim.core`, ...) do::
+
+    from repro.sanitize import runtime as _san
+    ...
+    if _san.MEM is not None:
+        _san.MEM.on_alloc(allocation)
+
+With every checker disabled (the default) the cost of instrumentation is a
+single module-attribute load and ``is not None`` test per hook site — no
+allocation, no call.  :func:`repro.sanitize.enable` installs checker
+instances here; :func:`repro.sanitize.disable` resets them to ``None``.
+
+This module must stay dependency-free (it is imported by the lowest layers
+of the package) — it holds only the three slots and trivial accessors.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: ASan-style device/host memory sanitizer (:class:`repro.sanitize.memsan.MemorySanitizer`)
+MEM: Optional[object] = None
+#: vector-clock happens-before race detector (:class:`repro.sanitize.race.RaceDetector`)
+RACE: Optional[object] = None
+#: DEV/CUDA_DEV work-list validator (:class:`repro.sanitize.devcheck.DevValidator`)
+DEV: Optional[object] = None
+
+
+def active() -> bool:
+    """True when any checker is installed."""
+    return MEM is not None or RACE is not None or DEV is not None
+
+
+def install(mem=None, race=None, dev=None) -> None:
+    """Install checker instances (None leaves a slot empty)."""
+    global MEM, RACE, DEV
+    MEM, RACE, DEV = mem, race, dev
+
+
+def clear() -> None:
+    """Remove every installed checker."""
+    install(None, None, None)
+
+
+def snapshot() -> tuple:
+    """The current (MEM, RACE, DEV) triple — for save/restore in tests."""
+    return (MEM, RACE, DEV)
+
+
+def restore(saved: tuple) -> None:
+    """Restore a triple captured by :func:`snapshot`."""
+    install(*saved)

@@ -22,6 +22,8 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from repro.sanitize import runtime as _san
+
 __all__ = [
     "SimulationError",
     "ProcessKilled",
@@ -53,7 +55,7 @@ class Future:
     after resolution run immediately.
     """
 
-    __slots__ = ("sim", "_value", "_exception", "_callbacks", "label")
+    __slots__ = ("sim", "_value", "_exception", "_callbacks", "label", "_san_snap")
 
     def __init__(self, sim: "Simulator", label: str = "") -> None:
         self.sim = sim
@@ -61,6 +63,10 @@ class Future:
         self._exception: Optional[BaseException] = None
         self._callbacks: list[Callable[["Future"], None]] = []
         self.label = label
+        #: race-detector vector-clock snapshot carried resolver -> waiters;
+        #: producers with a stronger ordering source (stream completion,
+        #: mailbox put, banked semaphore token) pre-stamp it
+        self._san_snap: Optional[dict] = None
 
     # -- state ----------------------------------------------------------
     @property
@@ -89,6 +95,8 @@ class Future:
         if self.done:
             raise SimulationError(f"future {self.label!r} resolved twice")
         self._value = value
+        if _san.RACE is not None:
+            self._san_snap = _san.RACE.merge_with_context(self._san_snap)
         self._dispatch()
 
     def fail(self, exc: BaseException) -> None:
@@ -96,6 +104,8 @@ class Future:
         if self.done:
             raise SimulationError(f"future {self.label!r} resolved twice")
         self._exception = exc
+        if _san.RACE is not None:
+            self._san_snap = _san.RACE.merge_with_context(self._san_snap)
         self._dispatch()
 
     def _dispatch(self) -> None:
@@ -125,7 +135,7 @@ class Process(Future):
     value, or failing with its uncaught exception.
     """
 
-    __slots__ = ("_gen", "_killed")
+    __slots__ = ("_gen", "_killed", "_san_actor")
 
     def __init__(
         self,
@@ -141,6 +151,10 @@ class Process(Future):
             )
         self._gen = gen
         self._killed = False
+        self._san_actor: Optional[str] = None
+        if _san.RACE is not None:
+            # spawning is a happens-before edge from spawner to child
+            self._san_actor = _san.RACE.on_spawn(self.label)
         sim.call_soon(lambda: self._step(None, None))
 
     def kill(self, reason: str = "killed") -> None:
@@ -153,20 +167,29 @@ class Process(Future):
     def _step(self, value: Any, exc: Optional[BaseException]) -> None:
         if self.done:
             return
+        race = _san.RACE
+        if race is not None:
+            if self._san_actor is None:
+                self._san_actor = race.on_spawn(self.label)
+            race.enter(self._san_actor)
         try:
-            if exc is not None:
-                target = self._gen.throw(exc)
-            else:
-                target = self._gen.send(value)
-        except StopIteration as stop:
-            self.resolve(stop.value)
-            return
-        except ProcessKilled as killed:
-            self.fail(killed)
-            return
-        except BaseException as err:  # propagate into waiters
-            self.fail(err)
-            return
+            try:
+                if exc is not None:
+                    target = self._gen.throw(exc)
+                else:
+                    target = self._gen.send(value)
+            except StopIteration as stop:
+                self.resolve(stop.value)
+                return
+            except ProcessKilled as killed:
+                self.fail(killed)
+                return
+            except BaseException as err:  # propagate into waiters
+                self.fail(err)
+                return
+        finally:
+            if race is not None:
+                race.exit()
 
         if target is None:
             self.sim.call_soon(lambda: self._step(None, None))
@@ -186,6 +209,12 @@ class Process(Future):
             )
 
     def _resume_from(self, fut: Future) -> None:
+        if _san.RACE is not None and self._san_actor is not None:
+            # waking on a resolved future is a happens-before edge: the
+            # resolver's (or pre-stamped producer's) clock joins ours
+            # getattr: duck-typed awaitables (e.g. mpi.requests.Request)
+            # are legal yield targets but carry no snapshot
+            _san.RACE.on_resume(self._san_actor, getattr(fut, "_san_snap", None))
         if fut.failed:
             self._step(None, fut.exception)
         else:
@@ -325,6 +354,8 @@ def all_of(sim: Simulator, futures: Iterable[Future], label: str = "") -> Future
                 result.fail(fut.exception)
                 return
             values[i] = fut._value
+            if _san.RACE is not None:
+                result._san_snap = _san.RACE.merge(result._san_snap, fut._san_snap)
             remaining[0] -= 1
             if remaining[0] == 0:
                 result.resolve(values)
@@ -350,6 +381,8 @@ def any_of(sim: Simulator, futures: Iterable[Future], label: str = "") -> Future
             if fut.failed:
                 result.fail(fut.exception)
             else:
+                if _san.RACE is not None:
+                    result._san_snap = _san.RACE.merge(result._san_snap, fut._san_snap)
                 result.resolve((i, fut._value))
 
         return cb

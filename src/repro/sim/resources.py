@@ -13,6 +13,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Optional
 
+from repro.sanitize import runtime as _san
 from repro.sim.core import Future, SimulationError, Simulator
 from repro.sim.trace import Tracer
 
@@ -79,6 +80,10 @@ class FifoLink:
         if self.tracer:
             self.tracer.record(self.name, start, end, label or "xfer", nbytes)
         fut = Future(self.sim, label=label or f"{self.name}:{nbytes}B")
+        if _san.RACE is not None:
+            # delivery resolves from a bare timer; the HB edge is from the
+            # *issuer*, so stamp its clock at issue time
+            fut._san_snap = _san.RACE.snapshot()
         self.sim.call_at(arrival, lambda: fut.resolve(payload))
         return fut
 
@@ -147,6 +152,10 @@ class Semaphore:
         self.name = name
         self._value = value
         self._waiters: deque[Future] = deque()
+        #: release-time clock snapshots for banked tokens (parallel FIFO);
+        #: a token banked by fragment i's ACK carries the ACK context, so
+        #: the acquirer of slot i+depth inherits the reuse-ordering edge
+        self._san_bank: deque[Any] = deque()
 
     @property
     def value(self) -> int:
@@ -157,6 +166,8 @@ class Semaphore:
         fut = Future(self.sim, label=f"{self.name}.P")
         if self._value > 0:
             self._value -= 1
+            if _san.RACE is not None and self._san_bank:
+                fut._san_snap = self._san_bank.popleft()
             fut.resolve(None)
         else:
             self._waiters.append(fut)
@@ -169,6 +180,8 @@ class Semaphore:
                 self._waiters.popleft().resolve(None)
             else:
                 self._value += 1
+                if _san.RACE is not None:
+                    self._san_bank.append(_san.RACE.snapshot())
 
 
 class Mailbox:
@@ -183,6 +196,9 @@ class Mailbox:
         self.name = name
         self._items: deque[Any] = deque()
         self._getters: deque[Future] = deque()
+        #: putter-context snapshots for queued items (parallel FIFO) — a
+        #: getter that pops a queued item still inherits the putter's edge
+        self._san_snaps: deque[Any] = deque()
 
     def __len__(self) -> int:
         return len(self._items)
@@ -193,12 +209,17 @@ class Mailbox:
             self._getters.popleft().resolve(item)
         else:
             self._items.append(item)
+            if _san.RACE is not None:
+                self._san_snaps.append(_san.RACE.snapshot())
 
     def get(self) -> Future:
         """Future resolving with the next item (FIFO)."""
         fut = Future(self.sim, label=f"{self.name}.get")
         if self._items:
-            fut.resolve(self._items.popleft())
+            item = self._items.popleft()
+            if self._san_snaps:
+                fut._san_snap = self._san_snaps.popleft()
+            fut.resolve(item)
         else:
             self._getters.append(fut)
         return fut
@@ -206,5 +227,10 @@ class Mailbox:
     def try_get(self) -> tuple[bool, Any]:
         """Non-blocking ``(ok, item)`` pop."""
         if self._items:
-            return True, self._items.popleft()
+            item = self._items.popleft()
+            if self._san_snaps:
+                snap = self._san_snaps.popleft()
+                if _san.RACE is not None:
+                    _san.RACE.join_actor(_san.RACE.current, snap)
+            return True, item
         return False, None

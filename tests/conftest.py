@@ -6,7 +6,29 @@ import numpy as np
 import pytest
 
 from repro.hw.node import Cluster
+from repro.sanitize.options import SanitizeOptions
 from repro.sim.core import Simulator
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _sanitizers_from_env():
+    """Honour ``REPRO_SANITIZE`` for the whole pytest session.
+
+    The CI sanitizer leg runs the suites with ``REPRO_SANITIZE=all``;
+    checkers install once up front so even worlds built before the first
+    ``MpiConfig`` (plain hw/sim tests) are covered.  Without the env var
+    this fixture is a no-op and the suites run uninstrumented.
+    """
+    opts = SanitizeOptions.from_env()
+    if not opts.any_enabled:
+        yield
+        return
+    from repro import sanitize
+
+    report = sanitize.enable(opts)
+    yield
+    sanitize.disable()
+    assert not report.violations, "sanitizers found violations:\n" + report.summary()
 
 
 @pytest.fixture

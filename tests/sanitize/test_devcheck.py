@@ -1,0 +1,90 @@
+"""Unit tests for the DEV/CUDA_DEV list validator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import sanitize
+from repro.gpu_engine.dev import to_devs
+from repro.gpu_engine.work_units import WorkUnits, split_units
+from repro.sanitize import SanitizeOptions, SanitizerError
+from repro.sanitize.devcheck import DevValidator
+from repro.sanitize.report import SanitizerReport
+from repro.workloads.matrices import lower_triangular_type
+
+
+@pytest.fixture
+def val():
+    rep = SanitizerReport(mode="record")
+    return DevValidator(rep), rep
+
+
+def fresh_units(dt, count=1, unit_size=512) -> WorkUnits:
+    return split_units(to_devs(dt, count), unit_size)
+
+
+class TestPartitionChecks:
+    def test_clean_list_passes(self, val):
+        check, rep = val
+        dt = lower_triangular_type(64)
+        check.check_job(dt, 1, 512, fresh_units(dt))
+        assert not rep.violations
+
+    def test_overlapping_dst_flagged(self, val):
+        check, rep = val
+        dt = lower_triangular_type(64)
+        units = fresh_units(dt)
+        bad = WorkUnits(
+            units.src_disps.copy(),
+            units.dst_disps.copy(),
+            units.lens.copy(),
+            units.unit_size,
+        )
+        bad.dst_disps[1] = bad.dst_disps[0]  # two units pack the same bytes
+        check.check_job(dt, 1, 512, bad)
+        assert rep.by_code("dev.overlap")
+
+    def test_gap_flagged(self, val):
+        check, rep = val
+        dt = lower_triangular_type(64)
+        units = fresh_units(dt)
+        bad = WorkUnits(
+            units.src_disps.copy(),
+            units.dst_disps.copy() + np.int64(8),  # everything shifted: hole at 0
+            units.lens.copy(),
+            units.unit_size,
+        )
+        check.check_job(dt, 1, 512, bad)
+        assert rep.by_code("dev.gap")
+
+    def test_total_mismatch_flagged(self, val):
+        check, rep = val
+        dt = lower_triangular_type(64)
+        units = fresh_units(dt)
+        truncated = units.slice(0, units.count - 1)
+        check.check_job(dt, 1, 512, truncated)
+        assert rep.by_code("dev.total_mismatch")
+
+
+class TestCacheCoherence:
+    def test_poisoned_cache_entry_detected(self, cluster):
+        """A corrupted cached DEV list must differ from a fresh build."""
+        from repro.gpu_engine.engine import GpuDatatypeEngine
+
+        dt = lower_triangular_type(64)
+        with sanitize.enabled(SanitizeOptions.all(mode="raise")) as rep:
+            engine = GpuDatatypeEngine(cluster.nodes[0].gpus[0])
+            src = cluster.nodes[0].gpus[0].memory.alloc(dt.extent)
+            job = engine.pack_job(dt, 1, src)  # warms the cache (clean)
+            assert job.units is not None
+            unit_size = job.unit_size
+            good = engine.cache.get(dt, 1, unit_size)
+            # "mutation of cached state": corrupt the resident entry in
+            # place — the next hit replays the wrong displacements
+            good.src_disps[:] = good.src_disps + 16
+            with pytest.raises(SanitizerError) as exc:
+                engine.pack_job(dt, 1, src)
+            assert exc.value.violation.code == "dev.cache_mismatch"
+        # the violation was recorded before raising
+        assert rep.by_code("dev.cache_mismatch")

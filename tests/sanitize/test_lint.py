@@ -1,0 +1,120 @@
+"""Tests for the project lint pass (``python -m repro.sanitize.lint``)."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.sanitize.lint import LintViolation, lint_file, run_lint
+
+SIM_PATH = "src/repro/sim/fake.py"
+PROTO_PATH = "src/repro/mpi/protocols/fake.py"
+OTHER_PATH = "src/repro/obs/fake.py"
+
+
+def lint_src(path: str, source: str) -> list:
+    sites: dict = {}
+    return lint_file(path, source, sites)
+
+
+class TestDeterminismRule:
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "import time\nt = time.time()\n",
+            "import time\nt = time.perf_counter()\n",
+            "import random\nx = random.random()\n",
+            "import numpy as np\nx = np.random.rand()\n",
+            "import os\nx = os.urandom(8)\n",
+            "for x in {1, 2, 3}:\n    pass\n",
+            "for x in set(items):\n    pass\n",
+        ],
+    )
+    def test_nondeterminism_flagged_in_sim_dirs(self, snippet):
+        out = lint_src(SIM_PATH, snippet)
+        assert [v.code for v in out] == ["SAN-L001"]
+
+    def test_same_code_allowed_outside_sim_dirs(self):
+        out = lint_src(OTHER_PATH, "import time\nt = time.time()\n")
+        assert not out
+
+    def test_sim_clock_is_legal(self):
+        out = lint_src(SIM_PATH, "now = sim.now\nrng.integers(0, 10)\n")
+        assert not out
+
+    def test_sorted_set_iteration_is_legal(self):
+        out = lint_src(SIM_PATH, "for x in sorted({1, 2}):\n    pass\n")
+        assert not out
+
+
+class TestBufferApiRule:
+    def test_bytearray_flagged_in_protocols(self):
+        out = lint_src(PROTO_PATH, "payload = bytearray(64)\n")
+        assert [v.code for v in out] == ["SAN-L002"]
+
+    def test_bytearray_allowed_elsewhere(self):
+        assert not lint_src(OTHER_PATH, "payload = bytearray(64)\n")
+
+
+class TestMetricIdentityRule:
+    def test_one_name_two_kinds_flagged(self):
+        sites: dict = {}
+        lint_file(OTHER_PATH, "m.counter('pml.x').inc()\n", sites)
+        lint_file(SIM_PATH, "m.gauge('pml.x').set(1)\n", sites)
+        from repro.sanitize.lint import _metric_conflicts
+
+        out = _metric_conflicts(sites)
+        assert {v.code for v in out} == {"SAN-L003"}
+        assert len(out) == 2  # one violation per conflicting site
+
+    def test_one_name_one_kind_clean(self):
+        sites: dict = {}
+        lint_file(OTHER_PATH, "m.counter('pml.x').inc()\nm.counter('pml.x').inc()\n", sites)
+        from repro.sanitize.lint import _metric_conflicts
+
+        assert not _metric_conflicts(sites)
+
+
+class TestSyntaxRule:
+    def test_unparsable_file_reported(self):
+        out = lint_src(SIM_PATH, "def broken(:\n")
+        assert [v.code for v in out] == ["SAN-L000"]
+
+
+class TestRunLint:
+    def test_directory_sweep(self, tmp_path):
+        bad_dir = tmp_path / "src" / "repro" / "sim"
+        bad_dir.mkdir(parents=True)
+        (bad_dir / "bad.py").write_text("import time\nt = time.time()\n")
+        out = run_lint([str(tmp_path)])
+        assert len(out) == 1 and out[0].code == "SAN-L001"
+
+    def test_violation_str_is_actionable(self):
+        v = LintViolation("a/b.py", 7, "SAN-L001", "nondeterministic call")
+        assert str(v) == "a/b.py:7: SAN-L001 nondeterministic call"
+
+
+class TestRepoIsClean:
+    def test_src_tree_passes_lint(self):
+        """The CI gate: the whole src tree lints clean."""
+        assert run_lint(["src"]) == []
+
+    def test_cli_exit_codes(self, tmp_path):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.sanitize.lint", "src"],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        bad = tmp_path / "repro" / "sim" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import time\nt = time.time()\n")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.sanitize.lint", str(tmp_path)],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 1
+        assert "SAN-L001" in proc.stdout

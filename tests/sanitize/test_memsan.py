@@ -1,0 +1,115 @@
+"""Unit tests for the ASan-style memory sanitizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import sanitize
+from repro.hw.memory import Buffer, Memory, MemoryKind
+from repro.sanitize import SanitizeOptions, SanitizerError
+
+
+@pytest.fixture
+def record():
+    """Fresh all-checker install in record mode; yields the report."""
+    with sanitize.enabled(SanitizeOptions.all(mode="record")) as rep:
+        yield rep
+
+
+@pytest.fixture
+def raising():
+    """Fresh all-checker install in raise mode; yields the report."""
+    with sanitize.enabled(SanitizeOptions.all(mode="raise")) as rep:
+        yield rep
+
+
+def dev_mem() -> Memory:
+    return Memory("dev", 1 << 20, MemoryKind.DEVICE)
+
+
+class TestShadowLifecycle:
+    def test_fresh_allocation_is_poisoned(self, record):
+        from repro.sanitize import runtime as _san
+
+        buf = dev_mem().alloc(256)
+        _san.MEM.check_read(buf, 0, 256, what="probe")
+        assert record.by_code("mem.uninit_read")
+
+    def test_touch_unpoisons(self, record):
+        from repro.sanitize import runtime as _san
+
+        buf = dev_mem().alloc(256)
+        buf.fill(1)  # .bytes view marks the range valid
+        _san.MEM.check_read(buf, 0, 256, what="probe")
+        assert not record.violations
+
+    def test_partial_poison_reports_first_offset(self, record):
+        from repro.sanitize import runtime as _san
+
+        buf = dev_mem().alloc(512)
+        buf[0:128].fill(1)
+        _san.MEM.check_read(buf, 0, 512, what="probe")
+        (v,) = record.by_code("mem.uninit_read")
+        assert "first poisoned byte at offset 128" in v.message
+
+    def test_repoison_marks_stale_contents(self, record):
+        from repro.sanitize import runtime as _san
+
+        buf = dev_mem().alloc(256)
+        buf.fill(1)
+        _san.MEM.repoison(buf)
+        _san.MEM.check_read(buf, 0, 256, what="probe")
+        assert record.by_code("mem.uninit_read")
+
+
+class TestRedzone:
+    def test_subbuffer_into_redzone_flagged(self, raising):
+        buf = dev_mem().alloc(100)  # rounded up to ALIGNMENT internally
+        with pytest.raises(SanitizerError) as exc:
+            Buffer(buf.allocation, 0, 128)
+        assert exc.value.violation.code == "mem.oob_subbuffer"
+        assert "redzone" in str(exc.value)
+
+    def test_exact_requested_size_allowed(self, raising):
+        buf = dev_mem().alloc(100)
+        sub = buf[0:100]
+        assert sub.nbytes == 100
+
+
+class TestUseAfterFree:
+    def test_freed_access_recorded_and_raises_valueerror(self, record):
+        buf = dev_mem().alloc(64)
+        buf.free()
+        with pytest.raises(ValueError, match="use after free"):
+            _ = buf.bytes
+        (v,) = record.by_code("mem.use_after_free")
+        assert "freed allocation" in v.message
+
+
+class TestSpaceConfusion:
+    def test_device_buffer_on_cpu_path(self, raising):
+        from repro.sanitize import runtime as _san
+
+        buf = dev_mem().alloc(64)
+        with pytest.raises(SanitizerError) as exc:
+            _san.MEM.check_cpu_path(buf, what="CpuSideJob(pack)")
+        assert exc.value.violation.code == "mem.space_confusion"
+
+    def test_unmapped_host_buffer_on_gpu_path(self, raising):
+        from repro.sanitize import runtime as _san
+
+        host = Memory("host", 1 << 20, MemoryKind.HOST)
+        buf = host.alloc(64)
+        with pytest.raises(SanitizerError) as exc:
+            _san.MEM.check_gpu_path(buf, mapped=False, what="PackJob")
+        assert "map_host_buffer" in str(exc.value)
+        _san.MEM.check_gpu_path(buf, mapped=True, what="PackJob")  # clean
+
+
+class TestZeroOverheadWhenDisabled:
+    def test_hooks_uninstalled_outside_context(self):
+        from repro.sanitize import runtime as _san
+
+        assert not sanitize.is_enabled() or _san.MEM is not None
+        with sanitize.enabled(SanitizeOptions.all(mode="record")):
+            assert sanitize.is_enabled()

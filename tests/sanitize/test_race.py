@@ -1,0 +1,135 @@
+"""Unit tests for the vector-clock happens-before race detector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import sanitize
+from repro.hw.memory import Memory, MemoryKind
+from repro.sanitize import SanitizeOptions, SanitizerError
+from repro.sanitize.race import RaceDetector
+from repro.sanitize.report import SanitizerReport
+
+
+@pytest.fixture
+def det():
+    rep = SanitizerReport(mode="record")
+    return RaceDetector(rep), rep
+
+
+def buf(n=1024):
+    return Memory("m", 1 << 20, MemoryKind.DEVICE).alloc(n)
+
+
+class TestEpochChecking:
+    def test_unordered_write_write_flagged(self, det):
+        race, rep = det
+        b = buf()
+        race.enter("a")
+        race.record(b, 0, 64, True, "wA")
+        race.exit()
+        race.enter("b")
+        race.record(b, 0, 64, True, "wB")
+        race.exit()
+        (v,) = rep.by_code("race.unordered_access")
+        assert "no happens-before edge" in v.message
+
+    def test_read_read_never_flagged(self, det):
+        race, rep = det
+        b = buf()
+        race.enter("a")
+        race.record(b, 0, 64, False, "rA")
+        race.exit()
+        race.enter("b")
+        race.record(b, 0, 64, False, "rB")
+        race.exit()
+        assert not rep.violations
+
+    def test_disjoint_ranges_never_flagged(self, det):
+        race, rep = det
+        b = buf()
+        race.enter("a")
+        race.record(b, 0, 64, True, "wA")
+        race.exit()
+        race.enter("b")
+        race.record(b, 64, 128, True, "wB")
+        race.exit()
+        assert not rep.violations
+
+    def test_hb_edge_suppresses_report(self, det):
+        race, rep = det
+        b = buf()
+        race.enter("a")
+        race.record(b, 0, 64, True, "wA")
+        snap = race.snapshot()
+        race.exit()
+        # actor b learns of a's access (e.g. via a resolved future)
+        race.join_actor("b", snap)
+        race.enter("b")
+        race.record(b, 0, 64, True, "wB")
+        race.exit()
+        assert not rep.violations
+
+    def test_aliasing_subbuffers_compared_absolutely(self, det):
+        race, rep = det
+        b = buf()
+        lo_view = b[0:128]
+        race.enter("a")
+        race.record(lo_view, 0, 128, True, "wA")
+        race.exit()
+        race.enter("b")
+        race.record(b, 200, 300, True, "wB")  # disjoint in absolute bytes
+        race.exit()
+        assert not rep.violations
+        race.enter("c")
+        race.record(b[64:256], 0, 32, True, "wC")  # absolute [64, 96)
+        race.exit()
+        assert rep.by_code("race.unordered_access")
+
+
+class TestStreamOps:
+    def test_two_streams_unsynchronized_race(self):
+        """Overlapping writes from two streams with no event edge."""
+        from repro.hw.node import Cluster
+
+        with sanitize.enabled(SanitizeOptions.all(mode="record")) as rep:
+            cluster = Cluster(n_nodes=1, gpus_per_node=2)
+            gpu = cluster.nodes[0].gpus[0]
+            b = gpu.memory.alloc(4096)
+            s1 = gpu.default_stream
+            s2 = gpu.stream("other")
+            s1.enqueue(1e-6, label="w1", writes=((b, 0, 4096),))
+            s2.enqueue(1e-6, label="w2", writes=((b, 0, 4096),))
+            cluster.sim.run()
+        assert rep.by_code("race.unordered_access")
+
+    def test_same_stream_serializes(self):
+        from repro.hw.node import Cluster
+
+        with sanitize.enabled(SanitizeOptions.all(mode="raise")) as rep:
+            cluster = Cluster(n_nodes=1, gpus_per_node=2)
+            gpu = cluster.nodes[0].gpus[0]
+            b = gpu.memory.alloc(4096)
+            s1 = gpu.default_stream
+            s1.enqueue(1e-6, label="w1", writes=((b, 0, 4096),))
+            s1.enqueue(1e-6, label="w2", writes=((b, 0, 4096),))
+            cluster.sim.run()
+        assert not rep.violations
+
+    def test_synchronize_orders_cross_stream(self):
+        from repro.hw.node import Cluster
+
+        with sanitize.enabled(SanitizeOptions.all(mode="raise")) as rep:
+            cluster = Cluster(n_nodes=1, gpus_per_node=2)
+            gpu = cluster.nodes[0].gpus[0]
+            b = gpu.memory.alloc(4096)
+            s1 = gpu.default_stream
+            s2 = gpu.stream("other")
+
+            def main():
+                s1.enqueue(1e-6, label="w1", writes=((b, 0, 4096),))
+                yield s1.synchronize()
+                s2.enqueue(1e-6, label="w2", writes=((b, 0, 4096),))
+
+            cluster.sim.run_until_complete(cluster.sim.spawn(main()))
+        assert not rep.violations
