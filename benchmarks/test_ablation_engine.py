@@ -19,13 +19,14 @@ import pytest
 
 from repro.baselines.staging import per_block_d2h_pack, whole_region_pack
 from repro.bench import Series, Table, fmt_time, make_env, matrix_buffers, pingpong
+from repro.bench.profiles import current as current_profile
 from repro.cuda.uma import map_host_buffer
 from repro.datatype.convertor import pack_bytes
 from repro.gpu_engine import EngineOptions
 from repro.mpi.config import MpiConfig
 from repro.workloads.matrices import MatrixWorkload, lower_triangular_type
 
-N = 2048
+N = current_profile().pick(2048, 1024)
 
 
 @pytest.mark.figure("ablation-unit-size")

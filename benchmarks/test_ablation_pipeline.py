@@ -15,21 +15,18 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench import Series, fmt_time, make_env, matrix_buffers, pingpong
-from repro.mpi.config import MpiConfig
-from repro.workloads.matrices import MatrixWorkload
+from repro.bench import Series, fmt_time
+from repro.bench.profiles import current as current_profile
+from repro.bench.scenarios import pipeline_pingpong
 
-N = 2048
+PROFILE = current_profile()
+N = PROFILE.pick(2048, 1024)
 FRAGS = [64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20, 64 << 20]
-DEPTHS = [1, 2, 4, 8]
+DEPTHS = PROFILE.pick([1, 2, 4, 8], [1, 4])
 
 
 def pp(frag_bytes: int, depth: int, env_kind: str = "sm-2gpu") -> float:
-    cfg = MpiConfig(frag_bytes=frag_bytes, pipeline_depth=depth)
-    env = make_env(env_kind, config=cfg)
-    wl = MatrixWorkload.submatrix(N, N + 512)
-    b0, b1 = matrix_buffers(env, wl)
-    return pingpong(env, b0, wl.datatype, 1, b1, wl.datatype, 1, iters=2)
+    return pipeline_pingpong(frag_bytes, depth, env_kind, n=N)
 
 
 @pytest.mark.figure("ablation-pipeline")
@@ -65,13 +62,7 @@ def test_ablation_pipeline(benchmark, show):
     # wire rate.  A heavily shared GPU (Section 5.4) is exactly that
     # regime, so the factor-2 claim is demonstrated under contention.
     def contended(frag_bytes: int) -> float:
-        cfg = MpiConfig(frag_bytes=frag_bytes, pipeline_depth=4)
-        env = make_env("sm-2gpu", config=cfg)
-        for gpu in (env.gpu0, env.gpu1):
-            gpu.contention = 0.93
-        wl = MatrixWorkload.submatrix(N, N + 512)
-        b0, b1 = matrix_buffers(env, wl)
-        return pingpong(env, b0, wl.datatype, 1, b1, wl.datatype, 1, iters=2)
+        return pipeline_pingpong(frag_bytes, 4, n=N, contention=0.93)
 
     slow_gpu = Series(
         f"Ablation: V ping-pong (N={N}), 93%-contended GPUs",

@@ -21,11 +21,13 @@ from repro.workloads.particles import (
     particle_index_type,
     random_particle_indices,
 )
+from repro.bench.profiles import current as current_profile
 from repro.workloads.stencil import stencil_halo_types
 
-GRID = 2048  # tile edge (doubles)
+PROFILE = current_profile()
+GRID = PROFILE.pick(2048, 1024)  # tile edge (doubles)
 HALO = 2
-N_LOCAL, N_SEND = 100_000, 8_000
+N_LOCAL, N_SEND = PROFILE.pick((100_000, 8_000), (50_000, 4_000))
 
 
 def stencil_step(env, use_ours: bool) -> float:

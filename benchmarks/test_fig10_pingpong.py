@@ -17,34 +17,12 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench import (
-    Series,
-    fmt_time,
-    make_env,
-    matrix_buffers,
-    mvapich_pingpong,
-    pingpong,
-)
-from repro.workloads.matrices import MatrixWorkload
+from repro.bench import Series, fmt_time
+from repro.bench.profiles import current as current_profile
+from repro.bench.scenarios import pingpong_times
 
-SIZES = [512, 1024, 2048]
-
-
-def pingpong_times(env_kind: str, n: int) -> dict[str, float]:
-    out: dict[str, float] = {}
-    for name, wl in (
-        ("V", MatrixWorkload.submatrix(n, n + 512)),
-        ("T", MatrixWorkload.triangular(n)),
-    ):
-        env = make_env(env_kind)
-        b0, b1 = matrix_buffers(env, wl)
-        out[name] = pingpong(env, b0, wl.datatype, 1, b1, wl.datatype, 1, iters=2)
-        env2 = make_env(env_kind)
-        c0, c1 = matrix_buffers(env2, wl)
-        out[f"{name}-MVAPICH"] = mvapich_pingpong(
-            env2, c0, wl.datatype, 1, c1, wl.datatype, 1, iters=1
-        )
-    return out
+PROFILE = current_profile()
+SIZES = PROFILE.pick([512, 1024, 2048], [512, 1024])
 
 
 ENVS = {"sm-1gpu": "Fig 10a (SM intra-GPU)", "sm-2gpu": "Fig 10b (SM inter-GPU)",

@@ -17,34 +17,14 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench import (
-    Series,
-    fmt_time,
-    make_env,
-    matrix_buffers,
-    mvapich_pingpong,
-    pingpong,
-)
-from repro.datatype.ddt import contiguous
-from repro.datatype.primitives import DOUBLE
+from repro.bench import Series, fmt_time, make_env, matrix_buffers, pingpong
+from repro.bench.profiles import current as current_profile
+from repro.bench.scenarios import vc_times
 from repro.workloads.matrices import MatrixWorkload
 
-SIZES = [512, 1024, 2048]
+PROFILE = current_profile()
+SIZES = PROFILE.pick([512, 1024, 2048], [512, 1024])
 ENVS = {"sm-2gpu": "SM", "ib": "IB"}
-
-
-def vc_times(env_kind: str, n: int) -> dict[str, float]:
-    wl = MatrixWorkload.submatrix(n, n + 512)
-    C = contiguous(n * n, DOUBLE).commit()
-    out = {}
-    env = make_env(env_kind)
-    b0, b1 = matrix_buffers(env, wl)
-    # rank 0: vector; rank 1: contiguous (only n*n*8 bytes are used)
-    out["V<->C"] = pingpong(env, b0, wl.datatype, 1, b1, C, 1, iters=2)
-    env2 = make_env(env_kind)
-    c0, c1 = matrix_buffers(env2, wl)
-    out["V<->C-MVAPICH"] = mvapich_pingpong(env2, c0, wl.datatype, 1, c1, C, 1, iters=1)
-    return out
 
 
 @pytest.mark.figure("fig11")

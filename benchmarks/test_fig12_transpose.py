@@ -14,49 +14,15 @@ cudaMemcpy2D per output column, each with N rows of 8 bytes.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.bench import (
-    Series,
-    fmt_time,
-    make_env,
-    mvapich_pingpong,
-    pingpong,
-)
-from repro.datatype.ddt import contiguous
-from repro.datatype.primitives import DOUBLE
-from repro.workloads.matrices import transpose_type
+from repro.bench import Series, fmt_time
+from repro.bench.profiles import current as current_profile
+from repro.bench.scenarios import transpose_times
 
-SIZES = [256, 512, 1024]
+PROFILE = current_profile()
+SIZES = PROFILE.pick([256, 512, 1024], [256, 512])
 ENVS = {"sm-2gpu": "SM", "ib": "IB"}
-
-
-def transpose_times(env_kind: str, n: int) -> dict[str, float]:
-    C = contiguous(n * n, DOUBLE).commit()
-    TR = transpose_type(n)
-    out = {}
-    env = make_env(env_kind)
-    p0, p1 = env.world.procs
-    b0 = p0.ctx.malloc(n * n * 8)
-    b0.write(np.random.default_rng(7).random(n * n))
-    b1 = p1.ctx.malloc(n * n * 8)
-    out["transpose"] = pingpong(env, b0, C, 1, b1, TR, 1, iters=2)
-    # verify the data really arrives transposed
-    a = b0.view("f8").reshape(n, n)
-    b = b1.view("f8").reshape(n, n)
-    assert np.array_equal(b, a.T), "transpose semantics broken"
-
-    env2 = make_env(env_kind)
-    q0, q1 = env2.world.procs
-    c0 = q0.ctx.malloc(n * n * 8)
-    c0.write(np.random.default_rng(8).random(n * n))
-    c1 = q1.ctx.malloc(n * n * 8)
-    out["transpose-MVAPICH"] = mvapich_pingpong(env2, c0, C, 1, c1, TR, 1, iters=1)
-    a = c0.view("f8").reshape(n, n)
-    b = c1.view("f8").reshape(n, n)
-    assert np.array_equal(b, a.T), "MVAPICH transpose semantics broken"
-    return out
 
 
 @pytest.mark.figure("fig12")

@@ -12,54 +12,12 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench import Series, make_env
-from repro.gpu_engine import EngineOptions
-from repro.workloads.matrices import (
-    stair_triangular_type,
-    submatrix_type,
-    lower_triangular_type,
-)
+from repro.bench import Series
+from repro.bench.profiles import current as current_profile
+from repro.bench.scenarios import kernel_bandwidths
 
-SIZES = [512, 1024, 2048, 4096]
-#: stair size = threads per CUDA block, as the paper prescribes
-STAIR_NB = 512
-
-
-def kernel_bandwidths(n: int) -> dict[str, float]:
-    """Effective pack bandwidth (payload bytes / kernel time) per layout."""
-    env = make_env("sm-1gpu")
-    gpu = env.gpu0
-    proc = env.world.procs[0]
-    sim = env.sim
-    ld = n + 512
-
-    out: dict[str, float] = {}
-    cases = {
-        "V": submatrix_type(n, ld),
-        "T": lower_triangular_type(n),
-        "T-stair": stair_triangular_type(n, STAIR_NB),
-    }
-    for name, dt in cases.items():
-        src = proc.ctx.malloc(max(dt.extent, ld * ld * 8))
-        dst = proc.ctx.malloc(dt.size)
-        # measure the kernel alone: CUDA_DEVs cached (prep excluded), one
-        # launch — this is what Fig 6 isolates
-        proc.engine.warm_cache(dt, 1)
-        job = proc.engine.pack_job(dt, 1, src, EngineOptions(use_cache=True))
-        t0 = sim.now
-        sim.run_until_complete(sim.spawn(job.process_all(dst)))
-        out[name] = dt.size / (sim.now - t0)
-        src.free()
-        dst.free()
-
-    # the reference: contiguous cudaMemcpy of the V payload size
-    nbytes = n * n * 8
-    a = proc.ctx.malloc(nbytes)
-    b = proc.ctx.malloc(nbytes)
-    t0 = sim.now
-    sim.run_until_complete(gpu.memcpy_d2d(b, a))
-    out["C-cudaMemcpy"] = nbytes / (sim.now - t0)
-    return out
+PROFILE = current_profile()
+SIZES = PROFILE.pick([512, 1024, 2048, 4096], [512, 1024])
 
 
 @pytest.mark.figure("fig6")
@@ -78,11 +36,14 @@ def test_fig6_kernel_bandwidth(benchmark, show):
     t = series.column("T")[big]
     stair = series.column("T-stair")[big]
     peak = series.column("C-cudaMemcpy")[big]
-    # paper: V ~94% of peak, T ~80%, stair recovers to ~V
-    assert 0.88 <= v / peak <= 1.0, f"V at {v / peak:.2f} of peak"
-    assert 0.72 <= t / peak <= 0.88, f"T at {t / peak:.2f} of peak"
-    assert stair / peak >= 0.88, f"stair at {stair / peak:.2f} of peak"
+    # qualitative ordering holds at any size: ragged T trails, stair recovers
+    assert t < stair <= peak and t < v <= peak
     # bandwidth grows with size (launch amortization)
     assert series.column("V")[0] < series.column("V")[big]
+    if PROFILE.is_full:
+        # paper bands need the 4096 point: V ~94% of peak, T ~80%, stair ~V
+        assert 0.88 <= v / peak <= 1.0, f"V at {v / peak:.2f} of peak"
+        assert 0.72 <= t / peak <= 0.88, f"T at {t / peak:.2f} of peak"
+        assert stair / peak >= 0.88, f"stair at {stair / peak:.2f} of peak"
 
     benchmark(kernel_bandwidths, 1024)

@@ -18,86 +18,12 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench import Series, fmt_time, make_env
-from repro.cuda.uma import map_host_buffer
-from repro.gpu_engine import EngineOptions
-from repro.workloads.matrices import lower_triangular_type, submatrix_type
+from repro.bench import Series, fmt_time
+from repro.bench.profiles import current as current_profile
+from repro.bench.scenarios import engine_times
 
-SIZES = [512, 1024, 2048, 4096]
-PIPE_FRAG = 4 << 20
-
-
-def _roundtrip(env, dt, src, options, frag, dst, warm_cache=False):
-    """pack into dst then unpack back; returns simulated seconds."""
-    proc = env.world.procs[0]
-    sim = env.sim
-    if warm_cache:
-        proc.engine.warm_cache(dt, 1)
-
-    def run():
-        pj = proc.engine.pack_job(dt, 1, src, options)
-        yield from pj.process_all(dst, frag)
-        uj = proc.engine.unpack_job(dt, 1, src, options)
-        yield from uj.process_all(dst, frag)
-
-    t0 = sim.now
-    sim.run_until_complete(sim.spawn(run()))
-    return sim.now - t0
-
-
-def engine_times(n: int) -> dict[str, float]:
-    env = make_env("sm-1gpu")
-    proc = env.world.procs[0]
-    gpu = env.gpu0
-    ld = n + 512
-    V = submatrix_type(n, ld)
-    T = lower_triangular_type(n)
-    srcV = proc.ctx.malloc(ld * ld * 8)
-    srcT = proc.ctx.malloc(n * n * 8)
-    out: dict[str, float] = {}
-
-    # ---- bypass CPU: pack into a GPU buffer -------------------------------
-    dgpu = proc.ctx.malloc(V.size)
-    no_cache = EngineOptions(use_cache=False, pipeline_prep=False)
-    pipe = EngineOptions(use_cache=False, pipeline_prep=True)
-    cached = EngineOptions(use_cache=True)
-    out["V-d2d"] = _roundtrip(env, V, srcV, no_cache, None, dgpu)
-    out["T-d2d"] = _roundtrip(env, T, srcT, no_cache, None, dgpu)
-    out["T-d2d-pipeline"] = _roundtrip(env, T, srcT, pipe, PIPE_FRAG, dgpu)
-    out["T-d2d-cached"] = _roundtrip(env, T, srcT, cached, None, dgpu, warm_cache=True)
-
-    # ---- through host memory ------------------------------------------------
-    # d2d2h: pack to GPU staging then explicit D2H (and H2D + unpack back)
-    sim = env.sim
-    hbuf = proc.node.host_memory.alloc(V.size)
-
-    def d2d2h(dt, src, options, warm):
-        if warm:
-            proc.engine.warm_cache(dt, 1)
-
-        def run():
-            pj = proc.engine.pack_job(dt, 1, src, options)
-            yield from pj.process_all(dgpu, PIPE_FRAG)
-            yield gpu.memcpy_d2h(hbuf[: dt.size], dgpu[: dt.size])
-            yield gpu.memcpy_h2d(dgpu[: dt.size], hbuf[: dt.size])
-            uj = proc.engine.unpack_job(dt, 1, src, options)
-            yield from uj.process_all(dgpu, PIPE_FRAG)
-
-        t0 = sim.now
-        sim.run_until_complete(sim.spawn(run()))
-        return sim.now - t0
-
-    out["V-d2d2h"] = d2d2h(V, srcV, pipe, warm=False)
-    out["T-d2d2h-cached"] = d2d2h(T, srcT, cached, warm=True)
-
-    # cpy: zero-copy — the kernel streams over PCIe itself
-    zbuf = proc.node.host_memory.alloc(V.size)
-    map_host_buffer(zbuf, gpu)
-    out["V-cpy"] = _roundtrip(env, V, srcV, pipe, PIPE_FRAG, zbuf)
-    out["T-cpy-cached"] = _roundtrip(
-        env, T, srcT, cached, PIPE_FRAG, zbuf, warm_cache=True
-    )
-    return out
+PROFILE = current_profile()
+SIZES = PROFILE.pick([512, 1024, 2048, 4096], [512, 1024])
 
 
 @pytest.mark.figure("fig7")
@@ -124,13 +50,17 @@ def test_fig7_engine_time(benchmark, show):
     t_pipe = left.column("T-d2d-pipeline")[i]
     t_cached = left.column("T-d2d-cached")[i]
     v_plain = left.column("V-d2d")[i]
-    # pipelining hides most of the DEV preparation; caching removes it
-    assert t_pipe < t_plain * 0.85, "pipelining should cut the T time"
+    # caching removes the DEV preparation entirely: always fastest
     assert t_cached < t_pipe, "caching should beat pipelining"
-    assert t_plain / t_cached > 1.4, "prep should be a large share of T-d2d"
-    # an uncached T costs about as much as V despite half the payload
-    assert 0.7 <= t_plain / v_plain <= 1.3
+    assert t_cached < t_plain, "caching should beat the uncached path"
     # zero-copy beats explicit staging
     assert right.column("V-cpy")[i] < right.column("V-d2d2h")[i]
+    if PROFILE.is_full:
+        # pipelining only wins once the message spans several fragments,
+        # so the ordering and the paper bands need the 4096 point
+        assert t_pipe < t_plain * 0.85, "pipelining should cut the T time"
+        assert t_plain / t_cached > 1.4, "prep should be a large share of T-d2d"
+        # an uncached T costs about as much as V despite half the payload
+        assert 0.7 <= t_plain / v_plain <= 1.3
 
     benchmark(engine_times, 1024)

@@ -15,75 +15,21 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench import Series, fmt_time, make_env
-from repro.cuda.runtime import CudaContext, MemcpyKind
-from repro.cuda.uma import map_host_buffer
-from repro.datatype.ddt import hvector
-from repro.datatype.primitives import BYTE
-from repro.gpu_engine import EngineOptions
+from repro.bench import fmt_time
+from repro.bench.profiles import current as current_profile
+from repro.bench.scenarios import memcpy2d_sweep
 
-BLOCK_SIZES = [64, 96, 128, 192, 256, 448, 512, 1024, 4096]
-BLOCK_COUNTS = [1024, 8192]
-STRIDE_PAD = 64  # gap between blocks
+PROFILE = current_profile()
+#: the asserted points (96/192/4096) survive the quick cut
+BLOCK_SIZES = PROFILE.pick(
+    [64, 96, 128, 192, 256, 448, 512, 1024, 4096],
+    [64, 96, 192, 512, 4096],
+)
+BLOCK_COUNTS = PROFILE.pick([1024, 8192], [1024])
 
 
-def sweep(n_blocks: int) -> Series:
-    series = Series(
-        f"Fig 8: vector pack vs cudaMemcpy2D, {n_blocks} blocks",
-        "blockB",
-        ["kernel-d2d", "mcp2d-d2d", "kernel-d2h(cpy)", "mcp2d-d2h", "mcp2d-d2d2h"],
-    )
-    for bs in BLOCK_SIZES:
-        env = make_env("sm-1gpu")
-        proc = env.world.procs[0]
-        gpu = env.gpu0
-        ctx = CudaContext(gpu)
-        sim = env.sim
-        stride = bs + STRIDE_PAD
-        dt = hvector(n_blocks, bs, stride, BYTE).commit()
-        total = n_blocks * bs
-        src = ctx.malloc(n_blocks * stride)
-        dst = ctx.malloc(total)
-        hdst = proc.node.host_memory.alloc(total)
-        map_host_buffer(hdst, gpu)
-
-        def timed(coro_or_fut):
-            t0 = sim.now
-            if hasattr(coro_or_fut, "add_callback"):
-                sim.run_until_complete(coro_or_fut)
-            else:
-                sim.run_until_complete(sim.spawn(coro_or_fut))
-            return sim.now - t0
-
-        opts = EngineOptions(use_cache=True)
-        proc.engine.warm_cache(dt, 1)
-        job = proc.engine.pack_job(dt, 1, src, opts)
-        kernel_d2d = timed(job.process_all(dst))
-        job = proc.engine.pack_job(dt, 1, src, opts)
-        kernel_d2h = timed(job.process_all(hdst))
-        mcp_d2d = timed(
-            ctx.memcpy2d(dst, bs, src, stride, bs, n_blocks, MemcpyKind.D2D)
-        )
-        mcp_d2h = timed(
-            ctx.memcpy2d(hdst, bs, src, stride, bs, n_blocks, MemcpyKind.D2H)
-        )
-        # d2d2h: pack in-device with memcpy2d, then one contiguous D2H
-        def d2d2h():
-            yield ctx.memcpy2d(dst, bs, src, stride, bs, n_blocks, MemcpyKind.D2D)
-            yield gpu.memcpy_d2h(hdst, dst)
-
-        mcp_d2d2h = timed(d2d2h())
-        series.add(
-            bs,
-            **{
-                "kernel-d2d": kernel_d2d,
-                "mcp2d-d2d": mcp_d2d,
-                "kernel-d2h(cpy)": kernel_d2h,
-                "mcp2d-d2h": mcp_d2h,
-                "mcp2d-d2d2h": mcp_d2d2h,
-            },
-        )
-    return series
+def sweep(n_blocks: int):
+    return memcpy2d_sweep(n_blocks, BLOCK_SIZES)
 
 
 @pytest.mark.figure("fig8")

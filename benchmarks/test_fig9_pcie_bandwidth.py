@@ -11,25 +11,12 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench import Series, make_env, matrix_buffers, pingpong
-from repro.workloads.matrices import MatrixWorkload
+from repro.bench import Series
+from repro.bench.profiles import current as current_profile
+from repro.bench.scenarios import pcie_bandwidths
 
-SIZES = [512, 1024, 2048, 3072]
-
-
-def pcie_bandwidths(n: int) -> dict[str, float]:
-    out: dict[str, float] = {}
-    for name, wl in (
-        ("V", MatrixWorkload.submatrix(n, n + 512)),
-        ("T", MatrixWorkload.triangular(n)),
-        ("C", MatrixWorkload.contiguous_matrix(n)),
-    ):
-        env = make_env("sm-2gpu")
-        b0, b1 = matrix_buffers(env, wl)
-        t = pingpong(env, b0, wl.datatype, 1, b1, wl.datatype, 1, iters=2)
-        # ping-pong moves the payload twice per iteration
-        out[name] = 2 * wl.payload_bytes / t
-    return out
+PROFILE = current_profile()
+SIZES = PROFILE.pick([512, 1024, 2048, 3072], [512, 1024])
 
 
 @pytest.mark.figure("fig9")
@@ -43,11 +30,12 @@ def test_fig9_pcie_bandwidth(benchmark, show):
 
     i = len(SIZES) - 1
     v, t, c = (series.column(k)[i] for k in ("V", "T", "C"))
-    # paper: ~90% (V) and ~78% (T) of the PCIe bandwidth; our pipeline
-    # hides the indexed type's preparation a little better, so T lands
-    # closer to V, but the ordering and the below-C gap both hold
-    assert 0.78 <= v / c <= 0.95, f"V at {v / c:.2f} of contiguous PCIe bw"
-    assert 0.60 <= t / c <= 0.92, f"T at {t / c:.2f} of contiguous PCIe bw"
-    assert t < v, "indexed should trail vector"
+    assert t < v < c, "indexed should trail vector, both below contiguous"
+    if PROFILE.is_full:
+        # paper: ~90% (V) and ~78% (T) of the PCIe bandwidth; our pipeline
+        # hides the indexed type's preparation a little better, so T lands
+        # closer to V, but the ordering and the below-C gap both hold
+        assert 0.78 <= v / c <= 0.95, f"V at {v / c:.2f} of contiguous PCIe bw"
+        assert 0.60 <= t / c <= 0.92, f"T at {t / c:.2f} of contiguous PCIe bw"
 
     benchmark(pcie_bandwidths, 1024)

@@ -16,32 +16,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench import Series, fmt_time, make_env, matrix_buffers, pingpong
-from repro.gpu_engine import EngineOptions
-from repro.mpi.config import MpiConfig
-from repro.workloads.matrices import MatrixWorkload
+from repro.bench import Series, fmt_time, make_env
+from repro.bench.profiles import current as current_profile
+from repro.bench.scenarios import pingpong_with_grid, saturation_grid
 
+PROFILE = current_profile()
 GRIDS = [1, 2, 4, 8, 16, 32, 64, 120]
-N = 2048
-
-
-def pingpong_with_grid(grid_blocks: int) -> float:
-    cfg = MpiConfig(engine=EngineOptions(grid_blocks=grid_blocks))
-    env = make_env("sm-2gpu", config=cfg)
-    wl = MatrixWorkload.submatrix(N, N + 512)
-    b0, b1 = matrix_buffers(env, wl)
-    return pingpong(env, b0, wl.datatype, 1, b1, wl.datatype, 1, iters=2)
-
-
-def saturation_grid() -> int:
-    """Blocks needed for kernel bw to cross PCIe bw (model prediction)."""
-    env = make_env("sm-2gpu")
-    gpu = env.gpu0
-    pcie = gpu.d2h_link.bandwidth
-    for g in GRIDS:
-        if gpu.kernel_bandwidth(g) >= pcie:
-            return g
-    return GRIDS[-1]
+N = PROFILE.pick(2048, 1024)
 
 
 @pytest.mark.figure("sec5.3")
@@ -54,19 +35,22 @@ def test_sec53_min_resources(benchmark, show):
     times = {}
     env = make_env("sm-2gpu")
     for g in GRIDS:
-        t = pingpong_with_grid(g)
+        t = pingpong_with_grid(g, N)
         times[g] = t
         series.add(g, time=t, kernel_bw_GBs=env.gpu0.kernel_bandwidth(g))
     show(series.to_table(lambda v: fmt_time(v) if v < 1 else f"{v / 1e9:.1f}"))
 
-    sat = saturation_grid()
+    sat = saturation_grid(GRIDS)
     print(f"\nmodel-predicted saturation grid: {sat} blocks")
     # starved kernels dominate; granting more blocks helps a lot...
     assert times[1] > times[GRIDS[-1]] * 1.5
-    # ...but beyond saturation extra blocks buy (almost) nothing
+    # ...but beyond saturation extra blocks buy (almost) nothing (the
+    # smaller quick matrix leaves fixed overheads a larger share, so the
+    # flattening tolerance is looser there)
     after = [times[g] for g in GRIDS if g >= sat]
-    assert max(after) < min(after) * 1.15, "curve should flatten past saturation"
+    flat = PROFILE.pick(1.15, 1.30)
+    assert max(after) < min(after) * flat, "curve should flatten past saturation"
     # saturation needs only a small fraction of the GPU's 120-block grid
     assert sat <= 16
 
-    benchmark(pingpong_with_grid, GRIDS[-1])
+    benchmark(pingpong_with_grid, GRIDS[-1], N)

@@ -16,20 +16,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench import Series, fmt_time, make_env, matrix_buffers, pingpong
-from repro.workloads.matrices import MatrixWorkload
+from repro.bench import Series, fmt_time
+from repro.bench.profiles import current as current_profile
+from repro.bench.scenarios import pingpong_under_contention
 
-LEVELS = [0.0, 0.25, 0.5, 0.75, 0.9, 0.97]
-N = 2048
-
-
-def pingpong_under_contention(level: float) -> float:
-    env = make_env("sm-2gpu")
-    for gpu in (env.gpu0, env.gpu1):
-        gpu.contention = level
-    wl = MatrixWorkload.submatrix(N, N + 512)
-    b0, b1 = matrix_buffers(env, wl)
-    return pingpong(env, b0, wl.datatype, 1, b1, wl.datatype, 1, iters=2)
+PROFILE = current_profile()
+LEVELS = PROFILE.pick([0.0, 0.25, 0.5, 0.75, 0.9, 0.97], [0.0, 0.5, 0.97])
+N = PROFILE.pick(2048, 1024)
 
 
 @pytest.mark.figure("sec5.4")
@@ -41,7 +34,7 @@ def test_sec54_contention(benchmark, show):
     )
     times = {}
     for level in LEVELS:
-        t = pingpong_under_contention(level)
+        t = pingpong_under_contention(level, N)
         times[level] = t
         series.add(f"{int(level * 100)}%", time=t)
     show(series.to_table(fmt_time))
@@ -55,4 +48,4 @@ def test_sec54_contention(benchmark, show):
     for a, b in zip(ts, ts[1:]):
         assert b >= a * 0.99
 
-    benchmark(pingpong_under_contention, 0.5)
+    benchmark(pingpong_under_contention, 0.5, N)

@@ -6,6 +6,11 @@ Usage::
     python -m repro.bench fig6 fig10      # a subset
     python -m repro.bench --list
 
+    # benchmark suite + perf-regression gate (BENCH_<label>.json)
+    python -m repro.bench --suite --quick --check benchmarks/baseline.json
+    python -m repro.bench --suite --quick --update-baseline
+    python -m repro.bench --list-scenarios
+
 For the full per-figure sweeps with assertions, run
 ``pytest benchmarks/ --benchmark-only -s`` instead.
 """
@@ -13,10 +18,55 @@ For the full per-figure sweeps with assertions, run
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.bench.figures import FIGURES, run_figure
 from repro.bench.reporting import fmt_time
+
+#: where --update-baseline writes, and the conventional --check target
+BASELINE_PATH = os.path.join("benchmarks", "baseline.json")
+
+
+def run_suite_cli(parser: argparse.ArgumentParser, args) -> int:
+    """Handle ``--suite``: run, write JSON (+ trace), optionally gate."""
+    from repro.bench import profiles, regress
+    from repro.bench.suite import run_suite, write_suite_json, write_suite_trace
+
+    if args.quick and args.profile and args.profile != "quick":
+        parser.error(f"--quick conflicts with --profile {args.profile}")
+    if args.quick:
+        profile = profiles.QUICK
+    elif args.profile:
+        try:
+            profile = profiles.get(args.profile)
+        except ValueError as err:
+            parser.error(str(err))
+    else:
+        profile = profiles.current()
+
+    try:
+        doc = run_suite(profile, names=args.scenario, label=args.label)
+    except ValueError as err:  # unknown scenario names
+        parser.error(str(err))
+    path = write_suite_json(doc, args.json)
+    print(f"suite: wrote {path} "
+          f"({len(doc['scenarios'])} scenarios, profile={profile.name}, "
+          f"{doc['harness']['wall_seconds']:.1f}s wall)")
+
+    if args.trace_out:
+        trace = write_suite_trace(
+            os.path.join(args.trace_out, "suite-pingpong.trace.json")
+        )
+        print(f"suite: wrote {trace}")
+
+    if args.update_baseline:
+        write_suite_json(doc, BASELINE_PATH)
+        print(f"suite: updated {BASELINE_PATH}")
+
+    if args.check:
+        return regress.run_check(doc, args.check)
+    return 0
 
 
 def main(argv=None) -> int:
@@ -34,6 +84,62 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--list", action="store_true", help="list figures")
     parser.add_argument(
+        "--suite",
+        action="store_true",
+        help="run the benchmark suite and write a BENCH_<label>.json "
+        "trajectory point (simulated metrics + harness phase timings)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="with --suite: use the quick (CI) size profile",
+    )
+    parser.add_argument(
+        "--profile",
+        metavar="NAME",
+        default=None,
+        help="with --suite: explicit profile name (full|quick); "
+        "default comes from REPRO_BENCH_PROFILE, else full",
+    )
+    parser.add_argument(
+        "--scenario",
+        metavar="NAME",
+        action="append",
+        default=None,
+        help="with --suite: run only this scenario (repeatable)",
+    )
+    parser.add_argument(
+        "--list-scenarios",
+        action="store_true",
+        help="list the suite scenario names and exit",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="with --suite: where to write the suite document "
+        "(default: BENCH_<label>.json in the current directory)",
+    )
+    parser.add_argument(
+        "--label",
+        metavar="LABEL",
+        default=None,
+        help="with --suite: trajectory label (default: REPRO_BENCH_LABEL, "
+        "else the short git hash)",
+    )
+    parser.add_argument(
+        "--check",
+        metavar="BASELINE",
+        default=None,
+        help="with --suite: compare the run against a baseline JSON and "
+        "exit nonzero on regression",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help=f"with --suite: also write the run to {BASELINE_PATH}",
+    )
+    parser.add_argument(
         "--smoke",
         action="store_true",
         help="run one traced transfer per protocol and verify the "
@@ -43,8 +149,9 @@ def main(argv=None) -> int:
         "--trace-out",
         metavar="DIR",
         default=None,
-        help="with --smoke: directory to keep the Chrome/Perfetto "
-        "trace JSON files in (default: a temporary directory)",
+        help="with --smoke or --suite: directory to keep the "
+        "Chrome/Perfetto trace JSON files in (--smoke default: a "
+        "temporary directory; --suite default: no trace)",
     )
     parser.add_argument(
         "--faults",
@@ -76,6 +183,13 @@ def main(argv=None) -> int:
 
         sanitize.enable(SanitizeOptions.parse(args.sanitize))
 
+    if args.list_scenarios:
+        from repro.bench.scenarios import scenario_names
+
+        for name in scenario_names():
+            print(name)
+        return 0
+
     if args.smoke:
         if args.faults is not None:
             from repro.bench.smoke import run_faults_smoke
@@ -87,6 +201,14 @@ def main(argv=None) -> int:
 
     if args.faults is not None:
         parser.error("--faults requires --smoke")
+
+    if args.suite:
+        return run_suite_cli(parser, args)
+    for flag in ("quick", "profile", "scenario", "json", "label", "check"):
+        if getattr(args, flag):
+            parser.error(f"--{flag.replace('_', '-')} requires --suite")
+    if args.update_baseline:
+        parser.error("--update-baseline requires --suite")
 
     if args.list:
         for name in FIGURES:

@@ -1,0 +1,68 @@
+"""Benchmark size profiles: the full paper sweeps vs a quick CI cut.
+
+The figure sweeps in ``benchmarks/`` and the suite scenarios in
+:mod:`repro.bench.scenarios` share one size knob: a :class:`Profile`.
+``full`` reproduces the paper's matrix sizes; ``quick`` shrinks sweeps
+so the whole suite finishes in well under two minutes — small enough
+for a per-push CI gate, large enough that every code path (DEV build,
+unit split, cache, pipeline, every protocol) still runs.
+
+The profile is picked once per process from the ``REPRO_BENCH_PROFILE``
+environment variable (or the ``--quick``/``--profile`` CLI flags, which
+just set it before anything reads it).  Call sites write::
+
+    SIZES = PROFILE.pick([512, 1024, 2048, 4096], [512, 1024])
+
+Tight paper-band assertions that only hold at full sizes are gated on
+``PROFILE.is_full``; the qualitative orderings (ours beats MVAPICH,
+caching beats pipelining, ...) hold under both profiles and stay
+unconditional.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import TypeVar
+
+__all__ = ["Profile", "FULL", "QUICK", "PROFILES", "get", "current"]
+
+T = TypeVar("T")
+
+#: environment variable the profile is read from
+ENV_VAR = "REPRO_BENCH_PROFILE"
+
+
+@dataclass(frozen=True)
+class Profile:
+    """A named size profile for benchmark sweeps."""
+
+    name: str
+
+    @property
+    def is_full(self) -> bool:
+        return self.name == "full"
+
+    def pick(self, full: T, quick: T) -> T:
+        """The ``full`` value under the full profile, else ``quick``."""
+        return full if self.is_full else quick
+
+
+FULL = Profile("full")
+QUICK = Profile("quick")
+PROFILES = {p.name: p for p in (FULL, QUICK)}
+
+
+def get(name: str) -> Profile:
+    """Look up a profile by name (raises ``ValueError`` on unknown)."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown profile {name!r}; expected one of {sorted(PROFILES)}"
+        ) from None
+
+
+def current() -> Profile:
+    """The profile selected by ``REPRO_BENCH_PROFILE`` (default: full)."""
+    return get(os.environ.get(ENV_VAR, "full"))

@@ -51,11 +51,23 @@ class Table:
             )
         self.rows.append(row)
 
+    @staticmethod
+    def _cell(c: Any) -> str:
+        """One cell as text: missing values dash out, floats use ``%g``."""
+        if c is None:
+            return "-"
+        if isinstance(c, str):
+            return c
+        if isinstance(c, bool):  # bool is an int; don't let it reach %g
+            return str(c)
+        if isinstance(c, float):
+            return f"{c:g}"
+        return str(c)
+
     def render(self) -> str:
         """Return the table as aligned plain text."""
         cells = [[str(h) for h in self.headers]] + [
-            [c if isinstance(c, str) else f"{c:g}" if isinstance(c, float) else str(c) for c in r]
-            for r in self.rows
+            [self._cell(c) for c in r] for r in self.rows
         ]
         widths = [max(len(row[i]) for row in cells) for i in range(len(self.headers))]
         lines = [f"== {self.title} =="]
@@ -111,8 +123,17 @@ class Series:
         self.to_table(fmt).show()
 
     def ratio(self, a: str, b: str) -> list[Optional[float]]:
-        """Per-x ratio column a / column b (None-safe)."""
+        """Per-x ratio column a / column b.
+
+        Missing values, zero denominators and NaNs on either side all
+        yield ``None`` — a ratio either means something or is absent,
+        it never raises ``ZeroDivisionError`` or propagates NaN into a
+        report.
+        """
         out: list[Optional[float]] = []
         for va, vb in zip(self.ys[a], self.ys[b]):
-            out.append(None if (va is None or vb in (None, 0)) else va / vb)
+            if va is None or vb is None or vb == 0 or va != va or vb != vb:
+                out.append(None)
+            else:
+                out.append(va / vb)
         return out

@@ -1,0 +1,158 @@
+"""Benchmark suite runner: ``python -m repro.bench --suite``.
+
+Runs every registered scenario (:mod:`repro.bench.scenarios`) under the
+active size profile and writes one schema-versioned ``BENCH_<label>.json``
+trajectory point.  Per scenario the document records:
+
+* ``metrics`` — the simulated times/bandwidths plus WorldStats health
+  numbers (cache hit rate, overlap fraction), all off the deterministic
+  virtual clock and therefore machine-independent;
+* ``phases`` — harness wall-clock split into the hot CPU phases
+  (``dev_build``: typemap -> DEV emission, ``unit_split``: DEV ->
+  work-unit expansion, ``sim_run``: the event loop) via
+  :mod:`repro.obs.phases`;
+* ``wall_seconds`` — total harness wall-clock for the scenario.
+
+The companion regression gate lives in :mod:`repro.bench.regress`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import time
+from typing import Optional
+
+from repro.bench.profiles import Profile
+from repro.bench.scenarios import SCENARIOS
+from repro.obs import phases
+
+__all__ = ["SCHEMA", "default_label", "run_suite", "write_suite_trace"]
+
+#: schema tag written into (and required from) every suite document
+SCHEMA = "repro-bench/1"
+
+
+def default_label() -> str:
+    """Label for the trajectory point: env var, then git hash, then local.
+
+    ``REPRO_BENCH_LABEL`` wins so CI can stamp run numbers; otherwise the
+    short commit hash identifies the code the numbers belong to.
+    """
+    env = os.environ.get("REPRO_BENCH_LABEL")
+    if env:
+        return _safe_label(env)
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        if out.returncode == 0 and out.stdout.strip():
+            return out.stdout.strip()
+    except OSError:
+        pass
+    return "local"
+
+
+def _safe_label(label: str) -> str:
+    """File-name-safe version of a user-supplied label."""
+    return "".join(c if (c.isalnum() or c in "._-") else "-" for c in label)
+
+
+def _provenance() -> dict:
+    import numpy
+
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "platform": platform.platform(),
+    }
+
+
+def run_suite(
+    profile: Profile,
+    names: Optional[list[str]] = None,
+    label: Optional[str] = None,
+    verbose: bool = True,
+) -> dict:
+    """Run the scenarios and return the suite document (not yet written).
+
+    ``names`` restricts the run to a subset (unknown names raise
+    ``ValueError`` before anything runs); default is every registered
+    scenario in registration order.
+    """
+    if names:
+        unknown = [n for n in names if n not in SCENARIOS]
+        if unknown:
+            raise ValueError(
+                f"unknown scenario(s): {', '.join(unknown)}; "
+                f"known: {', '.join(SCENARIOS)}"
+            )
+        selected = [n for n in SCENARIOS if n in set(names)]
+    else:
+        selected = list(SCENARIOS)
+
+    doc: dict = {
+        "schema": SCHEMA,
+        "label": _safe_label(label) if label else default_label(),
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "profile": profile.name,
+        "provenance": _provenance(),
+        "scenarios": {},
+    }
+    t_suite = time.perf_counter()
+    for name in selected:
+        if verbose:
+            print(f"[suite] {name} ({profile.name}) ...", flush=True)
+        t0 = time.perf_counter()
+        with phases.collect() as timer:
+            metrics = SCENARIOS[name](profile)
+        wall = time.perf_counter() - t0
+        doc["scenarios"][name] = {
+            "metrics": {k: float(v) for k, v in metrics.items()},
+            "phases": timer.to_dict(),
+            "wall_seconds": wall,
+        }
+        if verbose:
+            print(f"[suite] {name}: {len(metrics)} metrics, {wall:.2f}s wall")
+    doc["harness"] = {"wall_seconds": time.perf_counter() - t_suite}
+    return doc
+
+
+def write_suite_json(doc: dict, path: Optional[str] = None) -> str:
+    """Write the suite document; default path is ``BENCH_<label>.json``."""
+    if path is None:
+        path = f"BENCH_{doc['label']}.json"
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return path
+
+
+def write_suite_trace(path: str) -> str:
+    """Export one traced ping-pong as a Chrome/Perfetto JSON artifact.
+
+    CI uploads this next to the ``BENCH_*.json`` so a regression report
+    comes with a timeline to look at, not just a number that moved.
+    """
+    from repro.bench.harness import make_env, matrix_buffers, pingpong_stats
+    from repro.mpi.config import MpiConfig
+    from repro.sim.trace import save_chrome_trace
+    from repro.workloads.matrices import MatrixWorkload
+
+    env = make_env("sm-2gpu", config=MpiConfig(frag_bytes=1 << 20), trace=True)
+    wl = MatrixWorkload.triangular(512)
+    b0, b1 = matrix_buffers(env, wl)
+    _, ws = pingpong_stats(env, b0, wl.datatype, 1, b1, wl.datatype, 1, iters=1)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    save_chrome_trace(env.cluster.tracer, path, metrics=ws)
+    return path

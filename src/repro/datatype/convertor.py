@@ -25,7 +25,17 @@ from repro.datatype.ddt import Datatype
 from repro.datatype.stack import StackMachine, compile_datatype
 from repro.datatype.typemap import Spans
 
-__all__ = ["Convertor", "gather_indices", "pack_bytes", "unpack_bytes"]
+__all__ = ["Convertor", "gather_indices", "stream_unit", "pack_bytes", "unpack_bytes"]
+
+
+def stream_unit(dt: Datatype, count: int = 1) -> int:
+    """Byte granularity of the packed stream for ``count`` elements."""
+    unit = dt.granularity()
+    if count > 1:
+        # element k lives at k * extent, so the unit must divide the
+        # extent too (a resized type may have any byte extent)
+        unit = math.gcd(unit, abs(dt.extent)) or 1
+    return unit
 
 
 def gather_indices(dt: Datatype, count: int = 1) -> tuple[np.ndarray, int]:
@@ -35,11 +45,7 @@ def gather_indices(dt: Datatype, count: int = 1) -> tuple[np.ndarray, int]:
     ``unit``-byte elements) of the ``k``-th packed element.  Cached on the
     datatype.
     """
-    unit = dt.granularity()
-    if count > 1:
-        # element k lives at k * extent, so the unit must divide the
-        # extent too (a resized type may have any byte extent)
-        unit = math.gcd(unit, abs(dt.extent)) or 1
+    unit = stream_unit(dt, count)
     key = (count, unit)
     cached = dt._gather_cache.get(key)
     if cached is not None:
@@ -93,7 +99,11 @@ class Convertor:
         self.base_offset = base_offset
         self.total_bytes = dt.size * count
         self.position = 0
-        self._idx, self._unit = gather_indices(dt, count)
+        self._unit = stream_unit(dt, count)
+        #: gather index array, built lazily — the uniform-vector fast
+        #: path below never needs it (for a 4096^2 sub-matrix the index
+        #: array alone is 16M int64 entries)
+        self._idx: Optional[np.ndarray] = None
         self._user_elems: Optional[np.ndarray] = None
         self._stack: Optional[StackMachine] = None
         #: dedicated stack machine for the *range* API when the base is
@@ -103,12 +113,24 @@ class Convertor:
         lo = dt.spans_for_count(count).true_lb if count else 0
         if base_offset + lo < 0:
             raise ValueError("datatype reaches below the start of the buffer")
-        if base_offset % self._unit == 0:
-            # gather indices are user-buffer-absolute (element granularity)
-            if base_offset:
-                self._idx = self._idx + base_offset // self._unit
-        else:
+        #: uniform-vector shape, when the whole stream is expressible as
+        #: a strided 2-D copy (the CPU counterpart of cudaMemcpy2D)
+        self._vec = None
+        self._rows_view: Optional[np.ndarray] = None
+        if base_offset % self._unit != 0:
             self._fallback()  # misaligned base: stack machine from the start
+        else:
+            u = self._unit
+            shape = dt.as_vector(count)
+            if (
+                shape is not None
+                and shape.count > 0
+                and shape.blocklength % u == 0
+                and shape.stride % u == 0
+                and shape.first_disp % u == 0
+                and shape.stride >= shape.blocklength
+            ):
+                self._vec = shape
 
     # -- internals -------------------------------------------------------
     def _elems(self) -> np.ndarray:
@@ -117,6 +139,85 @@ class Convertor:
             usable = len(self.user) // u * u
             self._user_elems = self.user[:usable].view(_unit_dtype(u))
         return self._user_elems
+
+    def _indices(self) -> np.ndarray:
+        """User-buffer-absolute gather indices (element granularity)."""
+        if self._idx is None:
+            idx, unit = gather_indices(self.dt, self.count)
+            assert unit == self._unit
+            if self.base_offset:
+                idx = idx + self.base_offset // self._unit
+            self._idx = idx
+        return self._idx
+
+    def _rows(self) -> Optional[np.ndarray]:
+        """Strided 2-D (block, element) view of the user buffer."""
+        if self._rows_view is None:
+            v = self._vec
+            u = self._unit
+            elems = self._elems()
+            start = (self.base_offset + v.first_disp) // u
+            epb = v.blocklength // u
+            spb = v.stride // u  # elements between successive block starts
+            if start < 0 or start + (v.count - 1) * spb + epb > len(elems):
+                self._vec = None  # layout exceeds the buffer: no fast path
+                return None
+            item = elems.dtype.itemsize
+            self._rows_view = np.lib.stride_tricks.as_strided(
+                elems[start:],
+                shape=(v.count, epb),
+                strides=(spb * item, item),
+            )
+        return self._rows_view
+
+    def _fast_range(self, buf: np.ndarray, lo: int, hi: int) -> bool:
+        """Strided-copy transfer of packed range [lo, hi); True if handled.
+
+        For uniform-vector layouts every fragment decomposes into (head
+        partial block, whole blocks, tail partial block) — three NumPy
+        slice copies instead of a fancy-index gather over every element,
+        the CPU-side analogue of packing with ``cudaMemcpy2D``.
+        """
+        if self._vec is None or lo >= hi:
+            return False
+        rows = self._rows()
+        if rows is None:
+            return False
+        epb = rows.shape[1]
+        e0, e1 = lo // self._unit, hi // self._unit
+        o = buf[: hi - lo].view(rows.dtype)
+        pack = self.direction == "pack"
+        r0, c0 = divmod(e0, epb)
+        r1, c1 = divmod(e1, epb)
+        if r0 == r1:
+            if pack:
+                o[:] = rows[r0, c0:c1]
+            else:
+                rows[r0, c0:c1] = o
+            return True
+        pos = 0
+        if c0:
+            n0 = epb - c0
+            if pack:
+                o[:n0] = rows[r0, c0:]
+            else:
+                rows[r0, c0:] = o[:n0]
+            pos = n0
+            r0 += 1
+        nmid = r1 - r0
+        if nmid > 0:
+            mid = o[pos : pos + nmid * epb].reshape(nmid, epb)
+            if pack:
+                mid[:] = rows[r0:r1]
+            else:
+                rows[r0:r1] = mid
+            pos += nmid * epb
+        if c1:
+            if pack:
+                o[pos : pos + c1] = rows[r1, :c1]
+            else:
+                rows[r1, :c1] = o[pos : pos + c1]
+        return True
 
     def _fallback(self) -> StackMachine:
         if self._stack is None:
@@ -153,8 +254,9 @@ class Convertor:
         lo, hi = self.position, self.position + n
         u = self._unit
         if self._stack is None and lo % u == 0 and hi % u == 0:
-            idx = self._idx[lo // u : hi // u]
-            out[:n] = self._elems()[idx].view(np.uint8)
+            if not self._fast_range(out[:n], lo, hi):
+                idx = self._indices()[lo // u : hi // u]
+                out[:n] = self._elems()[idx].view(np.uint8)
         else:
             done = self._fallback().advance(out[:n])
             assert done == n
@@ -174,8 +276,9 @@ class Convertor:
         lo, hi = self.position, self.position + n
         u = self._unit
         if self._stack is None and lo % u == 0 and hi % u == 0:
-            idx = self._idx[lo // u : hi // u]
-            self._elems()[idx] = data[:n].view(_unit_dtype(u))
+            if not self._fast_range(data[:n], lo, hi):
+                idx = self._indices()[lo // u : hi // u]
+                self._elems()[idx] = data[:n].view(_unit_dtype(u))
         else:
             done = self._fallback().advance(data[:n])
             assert done == n
@@ -227,7 +330,9 @@ class Convertor:
             assert done == hi - lo
             self._rstack_pos = hi
             return
-        idx = self._idx[lo // u : hi // u]
+        if self._fast_range(out[: hi - lo], lo, hi):
+            return
+        idx = self._indices()[lo // u : hi // u]
         out[: hi - lo] = self._elems()[idx].view(np.uint8)
 
     def unpack_range(self, data: np.ndarray, lo: int, hi: int) -> None:
@@ -240,7 +345,9 @@ class Convertor:
             assert done == hi - lo
             self._rstack_pos = hi
             return
-        idx = self._idx[lo // u : hi // u]
+        if self._fast_range(data[: hi - lo], lo, hi):
+            return
+        idx = self._indices()[lo // u : hi // u]
         self._elems()[idx] = data[: hi - lo].view(_unit_dtype(u))
 
 

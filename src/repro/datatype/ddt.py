@@ -377,6 +377,24 @@ def hindexed(
     ext = base.extent
 
     def build() -> Spans:
+        bspans = base.spans
+        # Gap-free single-span base (primitives, contiguous doubles, ...):
+        # tiling block i always coalesces to the single span
+        # (disps[i] + d0, bls[i] * len0), so the whole typemap is two
+        # vectorized expressions.  This is the hot path for the paper's
+        # triangular/stair types (one block per column) — the per-block
+        # tile+coalesce loop below made building an N=4096 triangular
+        # type cost hundreds of milliseconds of CPU DEV-emission walk.
+        if bspans.count == 1 and int(bspans.lens[0]) == ext:
+            keep = bls > 0
+            if not keep.any():
+                return Spans.empty()
+            return coalesce(
+                Spans(
+                    disps[keep] + int(bspans.disps[0]),
+                    bls[keep] * int(bspans.lens[0]),
+                )
+            )
         parts = []
         # group identical blocklengths to keep this vectorized per distinct bl
         order = np.arange(len(bls))

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.datatype.ddt import Datatype
+from repro.obs import phases as _phases
 
 __all__ = ["DevList", "to_devs"]
 
@@ -46,9 +47,10 @@ class DevList:
 
 def to_devs(dt: Datatype, count: int = 1) -> DevList:
     """Convert ``count`` elements of a committed datatype into DEVs."""
-    spans = dt.spans_for_count(count)
-    return DevList(
-        src_disps=spans.disps,
-        dst_disps=spans.packed_offsets(),
-        lens=spans.lens,
-    )
+    with _phases.measure(_phases.DEV_BUILD):
+        spans = dt.spans_for_count(count)
+        return DevList(
+            src_disps=spans.disps,
+            dst_disps=spans.packed_offsets(),
+            lens=spans.lens,
+        )

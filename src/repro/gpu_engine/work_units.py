@@ -18,6 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.gpu_engine.dev import DevList
+from repro.obs import phases as _phases
 
 __all__ = ["WorkUnits", "split_units"]
 
@@ -57,8 +58,18 @@ class WorkUnits:
         )
 
     def packed_range(self, lo: int, hi: int) -> tuple[int, int]:
-        """Packed-stream byte range covered by units [lo, hi)."""
-        if lo >= hi:
+        """Packed-stream byte range covered by units [lo, hi).
+
+        An empty range (``lo == hi``) is a zero-length slice at the
+        position unit ``lo`` would start.  Inverted or out-of-bounds
+        ranges raise — a negative ``lo`` would otherwise index from the
+        end of the array and silently return another unit's offsets.
+        """
+        if lo < 0 or hi < lo or hi > self.count:
+            raise IndexError(
+                f"unit range [{lo}, {hi}) invalid for {self.count} units"
+            )
+        if lo == hi:
             start = int(self.dst_disps[lo]) if lo < self.count else self.total_bytes
             return start, start
         return (
@@ -77,18 +88,19 @@ def split_units(devs: DevList, unit_size: int) -> WorkUnits:
     """Split every DEV into ceil(len/S) units of at most ``S`` bytes."""
     if unit_size <= 0:
         raise ValueError("unit_size must be positive")
-    lens = devs.lens
-    n = devs.count
-    if n == 0:
-        z = np.empty(0, dtype=np.int64)
-        return WorkUnits(z, z, z, unit_size)
-    counts = -(-lens // unit_size)
-    total = int(counts.sum())
-    dev_id = np.repeat(np.arange(n, dtype=np.int64), counts)
-    first = np.cumsum(counts) - counts
-    ramp = np.arange(total, dtype=np.int64) - np.repeat(first, counts)
-    off = ramp * unit_size
-    u_src = devs.src_disps[dev_id] + off
-    u_dst = devs.dst_disps[dev_id] + off
-    u_len = np.minimum(unit_size, lens[dev_id] - off)
-    return WorkUnits(u_src, u_dst, u_len, unit_size)
+    with _phases.measure(_phases.UNIT_SPLIT):
+        lens = devs.lens
+        n = devs.count
+        if n == 0:
+            z = np.empty(0, dtype=np.int64)
+            return WorkUnits(z, z, z, unit_size)
+        counts = -(-lens // unit_size)
+        total = int(counts.sum())
+        dev_id = np.repeat(np.arange(n, dtype=np.int64), counts)
+        first = np.cumsum(counts) - counts
+        ramp = np.arange(total, dtype=np.int64) - np.repeat(first, counts)
+        off = ramp * unit_size
+        u_src = devs.src_disps[dev_id] + off
+        u_dst = devs.dst_disps[dev_id] + off
+        u_len = np.minimum(unit_size, lens[dev_id] - off)
+        return WorkUnits(u_src, u_dst, u_len, unit_size)

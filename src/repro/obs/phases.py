@@ -1,0 +1,100 @@
+"""Wall-clock phase accounting for the benchmark harness.
+
+The benchmark suite tracks two very different clocks:
+
+* **simulated time** — the deterministic virtual clock every figure
+  reports; nothing in this module ever touches it;
+* **harness wall-clock** — how long the *simulator itself* takes to run,
+  split into phases (CPU DEV-emission walk, work-unit split, simulator
+  event loop) so a regression in the Python hot paths shows up in the
+  ``BENCH_*.json`` trajectory even when the simulated numbers are
+  unchanged.
+
+Collection is opt-in and nested-scope based: call sites in hot code do
+``with phases.measure("dev_build"): ...`` which is a no-op (one global
+read) unless a :func:`collect` scope is active.  The recorded durations
+feed only the benchmark report — simulation behaviour never depends on
+them, which is why the determinism lint (SAN-L001) allows simulation
+code to call into this module.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+__all__ = ["PhaseTimer", "active", "collect", "measure"]
+
+#: canonical phase names used by the built-in hooks
+DEV_BUILD = "dev_build"
+UNIT_SPLIT = "unit_split"
+SIM_RUN = "sim_run"
+
+
+class PhaseTimer:
+    """Accumulated wall-clock seconds and call counts per phase name.
+
+    Phases may nest (``dev_build`` happens *inside* ``sim_run``), so the
+    per-phase totals are not disjoint and need not sum to the overall
+    wall time.
+    """
+
+    __slots__ = ("seconds", "counts")
+
+    def __init__(self) -> None:
+        self.seconds: dict[str, float] = {}
+        self.counts: dict[str, int] = {}
+
+    def add(self, phase: str, seconds: float) -> None:
+        """Record one timed interval for ``phase``."""
+        self.seconds[phase] = self.seconds.get(phase, 0.0) + seconds
+        self.counts[phase] = self.counts.get(phase, 0) + 1
+
+    def to_dict(self) -> dict:
+        """JSON-friendly ``{phase: {"seconds": s, "count": n}}`` mapping."""
+        return {
+            name: {"seconds": self.seconds[name], "count": self.counts[name]}
+            for name in sorted(self.seconds)
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        parts = ", ".join(
+            f"{k}={v * 1e3:.1f}ms" for k, v in sorted(self.seconds.items())
+        )
+        return f"PhaseTimer({parts})"
+
+
+_ACTIVE: Optional[PhaseTimer] = None
+
+
+def active() -> Optional[PhaseTimer]:
+    """The collector currently in scope, or None."""
+    return _ACTIVE
+
+
+@contextmanager
+def collect(timer: Optional[PhaseTimer] = None) -> Iterator[PhaseTimer]:
+    """Activate a collector for the scope; restores the previous on exit."""
+    global _ACTIVE
+    own = timer if timer is not None else PhaseTimer()
+    prev = _ACTIVE
+    _ACTIVE = own
+    try:
+        yield own
+    finally:
+        _ACTIVE = prev
+
+
+@contextmanager
+def measure(phase: str) -> Iterator[None]:
+    """Time the enclosed block under ``phase`` when a collector is active."""
+    t = _ACTIVE
+    if t is None:
+        yield
+        return
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        t.add(phase, time.perf_counter() - t0)

@@ -22,6 +22,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from repro.obs import phases as _phases
 from repro.sanitize import runtime as _san
 
 __all__ = [
@@ -307,6 +308,10 @@ class Simulator:
 
         Returns the simulated time when execution stopped.
         """
+        with _phases.measure(_phases.SIM_RUN):
+            return self._run(until)
+
+    def _run(self, until: Optional[float] = None) -> float:
         while self._queue:
             when, _, handle = self._queue[0]
             if handle._fn is None:

@@ -1,0 +1,29 @@
+"""Tests for the benchmark size profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import profiles
+
+
+class TestProfile:
+    def test_pick(self):
+        assert profiles.FULL.pick([1, 2], [1]) == [1, 2]
+        assert profiles.QUICK.pick([1, 2], [1]) == [1]
+        assert profiles.FULL.is_full and not profiles.QUICK.is_full
+
+    def test_get(self):
+        assert profiles.get("full") is profiles.FULL
+        assert profiles.get("quick") is profiles.QUICK
+        with pytest.raises(ValueError):
+            profiles.get("huge")
+
+    def test_current_from_env(self, monkeypatch):
+        monkeypatch.delenv(profiles.ENV_VAR, raising=False)
+        assert profiles.current() is profiles.FULL
+        monkeypatch.setenv(profiles.ENV_VAR, "quick")
+        assert profiles.current() is profiles.QUICK
+        monkeypatch.setenv(profiles.ENV_VAR, "bogus")
+        with pytest.raises(ValueError):
+            profiles.current()

@@ -37,6 +37,34 @@ class TestTable:
         with pytest.raises(ValueError):
             t.add("only-one")
 
+    def test_float_formatting(self):
+        t = Table("demo", ["v"])
+        t.add(0.125)
+        t.add(3.0)
+        t.add(1e-7)
+        rendered = t.render()
+        assert "0.125" in rendered
+        assert "3" in rendered  # %g drops the trailing .0
+        assert "1e-07" in rendered
+
+    def test_none_renders_as_dash(self):
+        t = Table("demo", ["a", "b"])
+        t.add("x", None)
+        lines = t.render().splitlines()
+        assert lines[-1].split() == ["x", "-"]
+
+    def test_bool_not_swallowed_by_float_format(self):
+        t = Table("demo", ["flag"])
+        t.add(True)
+        assert "True" in t.render()
+
+    def test_non_finite_floats(self):
+        t = Table("demo", ["v"])
+        t.add(float("nan"))
+        t.add(float("inf"))
+        rendered = t.render()
+        assert "nan" in rendered and "inf" in rendered
+
 
 class TestSeries:
     def test_columns_and_missing_values(self):
@@ -52,3 +80,19 @@ class TestSeries:
         s.add(1, a=2.0, b=4.0)
         s.add(2, a=1.0, b=None)
         assert s.ratio("b", "a") == [2.0, None]
+
+    def test_ratio_zero_denominator(self):
+        s = Series("t", "x", ["a", "b"])
+        s.add(1, a=0.0, b=3.0)
+        s.add(2, a=5.0, b=10.0)
+        # b/a with a == 0 must be None, never ZeroDivisionError
+        assert s.ratio("b", "a") == [None, 2.0]
+        # a numerator of zero is a legitimate 0.0 ratio, not missing
+        assert s.ratio("a", "b") == [0.0, 0.5]
+
+    def test_ratio_nan_is_missing(self):
+        s = Series("t", "x", ["a", "b"])
+        s.add(1, a=float("nan"), b=1.0)
+        s.add(2, a=1.0, b=float("nan"))
+        assert s.ratio("a", "b") == [None, None]
+        assert s.ratio("b", "a") == [None, None]

@@ -65,6 +65,32 @@ class TestUnitSplitting:
         assert units.packed_range(0, 2) == (0, 64)
         assert units.packed_range(1, 4) == (32, 100)
 
+    def test_packed_range_empty(self):
+        devs = DevList(np.array([0]), np.array([0]), np.array([100]))
+        units = split_units(devs, 32)  # 4 units: 32+32+32+4
+        # empty at a valid unit: zero-length slice at that unit's start
+        assert units.packed_range(2, 2) == (64, 64)
+        # empty at one-past-the-end: zero-length slice at stream end
+        assert units.packed_range(4, 4) == (100, 100)
+        assert units.packed_range(0, 0) == (0, 0)
+
+    def test_packed_range_rejects_bad_ranges(self):
+        devs = DevList(np.array([0]), np.array([0]), np.array([100]))
+        units = split_units(devs, 32)
+        with pytest.raises(IndexError):
+            units.packed_range(-1, 2)  # would index from the array's end
+        with pytest.raises(IndexError):
+            units.packed_range(3, 1)  # inverted
+        with pytest.raises(IndexError):
+            units.packed_range(0, 5)  # beyond the last unit
+        with pytest.raises(IndexError):
+            units.packed_range(5, 5)  # empty but out of bounds
+
+    def test_packed_range_empty_units(self):
+        z = np.empty(0, dtype=np.int64)
+        units = split_units(DevList(z, z, z), 64)
+        assert units.packed_range(0, 0) == (0, 0)
+
     def test_slice(self):
         devs = DevList(np.array([0]), np.array([0]), np.array([100]))
         units = split_units(devs, 32).slice(1, 3)

@@ -1,0 +1,91 @@
+"""Tests for the wall-clock phase accounting (repro.obs.phases)."""
+
+from __future__ import annotations
+
+from repro.obs import phases
+from repro.obs.phases import PhaseTimer
+
+
+class TestPhaseTimer:
+    def test_add_accumulates(self):
+        t = PhaseTimer()
+        t.add("a", 0.5)
+        t.add("a", 0.25)
+        t.add("b", 1.0)
+        assert t.seconds["a"] == 0.75
+        assert t.counts["a"] == 2
+        assert t.counts["b"] == 1
+
+    def test_to_dict_sorted_and_json_friendly(self):
+        t = PhaseTimer()
+        t.add("z", 1.0)
+        t.add("a", 2.0)
+        d = t.to_dict()
+        assert list(d) == ["a", "z"]
+        assert d["z"] == {"seconds": 1.0, "count": 1}
+
+
+class TestCollect:
+    def test_no_collector_is_noop(self):
+        assert phases.active() is None
+        with phases.measure("anything"):
+            pass  # must not raise and must not record anywhere
+        assert phases.active() is None
+
+    def test_measure_records_into_active_collector(self):
+        with phases.collect() as timer:
+            with phases.measure("work"):
+                sum(range(1000))
+        assert timer.counts["work"] == 1
+        assert timer.seconds["work"] >= 0.0
+        assert phases.active() is None
+
+    def test_nested_phases_both_recorded(self):
+        with phases.collect() as timer:
+            with phases.measure("outer"):
+                with phases.measure("inner"):
+                    pass
+        assert timer.counts == {"outer": 1, "inner": 1}
+
+    def test_scopes_nest_and_restore(self):
+        outer = PhaseTimer()
+        with phases.collect(outer):
+            with phases.collect() as inner:
+                with phases.measure("p"):
+                    pass
+            # the inner scope swallowed the measurement
+            assert phases.active() is outer
+        assert inner.counts.get("p") == 1
+        assert "p" not in outer.counts
+
+    def test_collector_restored_on_exception(self):
+        try:
+            with phases.collect():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert phases.active() is None
+
+
+class TestSimulatorHook:
+    def test_sim_run_phase_recorded(self):
+        from repro.sim.core import Simulator
+
+        sim = Simulator()
+        sim.call_after(1.0, lambda: None)
+        with phases.collect() as timer:
+            sim.run()
+        assert timer.counts[phases.SIM_RUN] == 1
+
+    def test_dev_build_and_unit_split_phases(self):
+        from repro.datatype.ddt import vector
+        from repro.datatype.primitives import DOUBLE
+        from repro.gpu_engine.dev import to_devs
+        from repro.gpu_engine.work_units import split_units
+
+        dt = vector(8, 2, 4, DOUBLE).commit()
+        with phases.collect() as timer:
+            devs = to_devs(dt, 2)
+            split_units(devs, 1024)
+        assert timer.counts[phases.DEV_BUILD] == 1
+        assert timer.counts[phases.UNIT_SPLIT] == 1
