@@ -550,3 +550,70 @@ def _world_stats(profile: Profile) -> dict[str, float]:
         "overlap_fraction": ws.pack_wire_overlap_fraction,
         "total_gbytes": ws.total_bytes / 1e9,
     }
+
+
+@scenario("cache_reuse")
+def _cache_reuse(profile: Profile) -> dict[str, float]:
+    """Two tenants, structurally identical types: the cross-construction
+    reuse the canonical-keyed DevCache exists for.
+
+    Tenant 1 (COMM_WORLD) and tenant 2 (a dup'ed communicator) each
+    build their *own* ``lower_triangular_type(n)`` — distinct objects,
+    identical layout, exactly what two libraries in one application do.
+    Under the old identity-based ``type_id`` key tenant 2 missed on
+    every rank and silently re-paid the CUDA_DEV preparation; under the
+    canonical key its misses are zero and its first iteration already
+    runs at cached speed.
+    """
+    n = profile.pick(2048, 1024)
+    env = make_env("sm-2gpu")
+    world = env.world
+    wl = MatrixWorkload.triangular(n)
+    b0, b1 = matrix_buffers(env, wl)
+
+    def tenant_programs(comm, dt0, dt1, tag):
+        def rank0(mpi):
+            yield mpi.send(b0, dt0, 1, dest=1, tag=tag, comm=comm)
+            yield mpi.recv(b0, dt0, 1, source=1, tag=tag + 1, comm=comm)
+
+        def rank1(mpi):
+            yield mpi.recv(b1, dt1, 1, source=0, tag=tag, comm=comm)
+            yield mpi.send(b1, dt1, 1, dest=0, tag=tag + 1, comm=comm)
+
+        return [rank0, rank1]
+
+    # tenant 1: cold caches — its misses fill them
+    t1 = world.run(
+        tenant_programs(
+            world.comm_world,
+            lower_triangular_type(n),
+            lower_triangular_type(n),
+            tag=1,
+        )
+    )
+    c1 = world.stats().cache
+
+    # tenant 2: fresh communicator, fresh (structurally identical) types
+    world.reset_stats()
+    t2 = world.run(
+        tenant_programs(
+            world.comm_world.dup(),
+            lower_triangular_type(n),
+            lower_triangular_type(n),
+            tag=3,
+        )
+    )
+    c2 = world.stats().cache
+    assert c2.misses == 0 and c2.hits > 0, (
+        f"tenant 2 should reuse tenant 1's descriptors "
+        f"(hits={c2.hits}, misses={c2.misses})"
+    )
+    return {
+        "tenant1_s": t1,
+        "tenant2_s": t2,
+        "tenant1_hits": float(c1.hits),
+        "tenant1_misses": float(c1.misses),
+        "tenant2_hits": float(c2.hits),
+        "tenant2_misses": float(c2.misses),
+        "tenant2_hit_rate": c2.hit_rate,
+    }

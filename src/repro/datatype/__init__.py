@@ -15,7 +15,11 @@ paper builds on:
   Section 3), supporting pause/resume at arbitrary byte positions for
   fragment pipelining;
 * a vectorized gather/scatter fast path validated against the stack
-  machine by property tests.
+  machine by property tests;
+* the **canonical IR** (:mod:`repro.datatype.canonical`) — the normal
+  form of ``(datatype, count)`` with a stable structural key (what the
+  DevCache and fast-path selection key on) and the compiled pack-plan
+  menu chosen by a small cost model.
 """
 
 from repro.datatype.primitives import (
@@ -41,6 +45,14 @@ from repro.datatype.ddt import (
     vector,
 )
 from repro.datatype.typemap import Spans
+from repro.datatype.canonical import (
+    CanonicalForm,
+    canonical_key,
+    canonicalize,
+    display_id,
+    select_cpu_plan,
+    select_gpu_plan,
+)
 from repro.datatype.convertor import Convertor, pack_bytes, unpack_bytes
 from repro.datatype.numpy_bridge import byte_mask, datatype_from_slice
 
@@ -64,6 +76,12 @@ __all__ = [
     "subarray",
     "resized",
     "Spans",
+    "CanonicalForm",
+    "canonicalize",
+    "canonical_key",
+    "display_id",
+    "select_cpu_plan",
+    "select_gpu_plan",
     "Convertor",
     "pack_bytes",
     "unpack_bytes",

@@ -1,0 +1,320 @@
+"""Canonical datatype IR: a TEMPI-style normal form with compiled pack plans.
+
+Every committed datatype flattens to a coalesced span typemap in pack
+order (:mod:`repro.datatype.typemap`).  That typemap — *not* the
+constructor tree that produced it — is what pack/unpack behaviour
+depends on, so it is the right identity for caching and kernel
+selection.  This module canonicalizes ``(datatype, count)`` into a small
+normal-form IR (the spirit of TEMPI's "canonical representation of
+CUDA-aware datatypes", arXiv 2012.14363) and derives from it
+
+* a **stable, hashable canonical key** — :func:`canonical_key` — used by
+  :class:`repro.gpu_engine.cache.DevCache` and the convertor's fast-path
+  selection in place of the old identity-based ``type_id`` key, so two
+  structurally identical datatypes built separately (two tenants, a
+  re-run workload, ``vector`` vs an equivalent ``hindexed``) share
+  cached CUDA_DEV descriptors and gather maps instead of silently
+  re-paying the first-iteration cost forever (the paper's Fig 6/7
+  "cached" argument only works if the cache can actually hit);
+* a **menu of compiled pack plans** — :func:`select_cpu_plan` /
+  :func:`select_gpu_plan` — chosen by a small byte-cost model
+  (:func:`plan_cost`), so contiguous, strided and irregular layouts each
+  get their first-class fast path instead of the generic stack walk.
+
+Normalization rules (applied by construction — the span algebra performs
+them during :meth:`~repro.datatype.ddt.Datatype.commit`, and
+:func:`canonicalize` classifies the result):
+
+* **contiguous-collapse** — adjacent-in-order spans that touch in memory
+  are merged (``vector`` with ``stride == blocklength`` *is* a
+  ``contiguous``); a single gap-free span canonicalizes to ``contig``;
+* **vector/hvector unification** — strides are reduced to bytes, so
+  ``vector(c, b, s, base)`` and ``hvector(c, b, s * extent, base)`` are
+  the same ``vector`` form;
+* **hindexed run-merging** — touching ``hindexed``/``indexed`` blocks
+  coalesce into maximal runs before classification;
+* **struct flattening** — ``struct``/``subarray``/nesting disappear: only
+  the flattened pack-order spans matter;
+* **resized/dup erasure** — ``resized`` changes only ``lb``/``extent``
+  and ``dup`` only identity; for ``count == 1`` both canonicalize
+  identically to their base, and for ``count > 1`` the extent enters the
+  form only through the tiled span layout it actually produces.
+
+Forms and keys are cached per ``(datatype, count)`` on the datatype
+object; irregular layouts are keyed by a digest of their span arrays
+(BLAKE2b over the little-endian int64 bytes), which is deterministic
+across processes and platforms — unlike ``hash()``/``id()``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.datatype.ddt import Datatype, VectorShape, _detect_vector
+from repro.datatype.typemap import Spans
+
+__all__ = [
+    "CanonicalForm",
+    "canonicalize",
+    "canonical_key",
+    "display_id",
+    "CPU_PLANS",
+    "GPU_PLANS",
+    "PLAN_MEMCPY",
+    "PLAN_STRIDED2D",
+    "PLAN_VECTOR_KERNEL",
+    "PLAN_GATHER",
+    "PLAN_STACK",
+    "plan_cost",
+    "select_cpu_plan",
+    "select_gpu_plan",
+]
+
+# -- the pack-plan menu -------------------------------------------------------
+
+#: single gap-free block: one memcpy (CPU) / one-row kernel pass (GPU)
+PLAN_MEMCPY = "memcpy"
+#: uniform vector: strided 2-D slice copies (the cudaMemcpy2D analogue)
+PLAN_STRIDED2D = "strided2d"
+#: uniform vector on the GPU: the specialized vector pack kernel (Sec 3.1)
+PLAN_VECTOR_KERNEL = "vector_kernel"
+#: irregular runs: precompiled gather map (CPU) / CUDA_DEV work list (GPU)
+PLAN_GATHER = "gather"
+#: generic resumable stack walk — always feasible, never fast
+PLAN_STACK = "stack"
+
+#: plans the CPU convertor can execute, in typical cost order
+CPU_PLANS = (PLAN_MEMCPY, PLAN_STRIDED2D, PLAN_GATHER, PLAN_STACK)
+#: plans the GPU datatype engine can execute
+GPU_PLANS = (PLAN_MEMCPY, PLAN_VECTOR_KERNEL, PLAN_GATHER)
+
+
+@dataclass(frozen=True)
+class CanonicalForm:
+    """Normal form of ``count`` elements of a datatype.
+
+    ``kind`` is one of:
+
+    * ``"empty"``  — zero payload bytes;
+    * ``"contig"`` — one gap-free block of ``size`` bytes at ``first_disp``;
+    * ``"vector"`` — ``blocks`` equal blocks of ``blocklength`` bytes on a
+      constant positive ``stride`` from ``first_disp``;
+    * ``"runs"``   — anything else: ``blocks`` maximal coalesced runs,
+      identified by a digest of the span arrays.
+
+    ``key`` is the stable, hashable identity two structurally identical
+    layouts share — the thing caches and plan selection key on.
+    """
+
+    kind: str
+    size: int  # total payload bytes
+    blocks: int  # number of coalesced runs
+    first_disp: int  # displacement of the first block (pack order)
+    blocklength: int  # uniform block bytes (contig/vector; 0 for runs)
+    stride: int  # bytes between block starts (vector; 0 otherwise)
+    key: tuple  # stable hashable identity
+
+    @property
+    def vector_shape(self) -> Optional[VectorShape]:
+        """The uniform-vector view, for the strided/vector-kernel plans."""
+        if self.kind == "contig":
+            return VectorShape(1, self.size, self.size, self.first_disp)
+        if self.kind == "vector":
+            return VectorShape(
+                self.blocks, self.blocklength, self.stride, self.first_disp
+            )
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"CanonicalForm({self.kind}, size={self.size}B, "
+            f"blocks={self.blocks})"
+        )
+
+
+def _runs_digest(spans: Spans) -> str:
+    """Deterministic digest of the span arrays (platform-independent)."""
+    h = hashlib.blake2b(digest_size=12)
+    h.update(np.ascontiguousarray(spans.disps, dtype="<i8").tobytes())
+    h.update(np.ascontiguousarray(spans.lens, dtype="<i8").tobytes())
+    return h.hexdigest()
+
+
+def _classify(spans: Spans) -> CanonicalForm:
+    """Classify coalesced pack-order spans into their normal form."""
+    n = spans.count
+    if n == 0:
+        return CanonicalForm("empty", 0, 0, 0, 0, 0, key=("empty",))
+    if n == 1:
+        length = int(spans.lens[0])
+        disp = int(spans.disps[0])
+        return CanonicalForm(
+            "contig", length, 1, disp, length, 0,
+            key=("contig", length, disp),
+        )
+    shape = _detect_vector(spans)
+    if shape is not None:
+        return CanonicalForm(
+            "vector",
+            shape.count * shape.blocklength,
+            shape.count,
+            shape.first_disp,
+            shape.blocklength,
+            shape.stride,
+            key=(
+                "vector",
+                shape.count,
+                shape.blocklength,
+                shape.stride,
+                shape.first_disp,
+            ),
+        )
+    return CanonicalForm(
+        "runs",
+        spans.size,
+        n,
+        int(spans.disps[0]),
+        0,
+        0,
+        key=("runs", n, spans.size, _runs_digest(spans)),
+    )
+
+
+def canonicalize(dt: Datatype, count: int = 1) -> CanonicalForm:
+    """Normal form of ``count`` elements of a committed datatype.
+
+    Cached per ``count`` on the datatype object — computing it costs one
+    tiled-span walk the first time and a dict lookup after.
+    """
+    dt.commit()
+    cached = dt._canon_cache.get(count)
+    if cached is not None:
+        return cached
+    form = _classify(dt.spans_for_count(count))
+    dt._canon_cache[count] = form
+    return form
+
+
+def canonical_key(dt: Datatype, count: int, unit_size: int) -> tuple:
+    """Stable cache key for ``(datatype, count, S)``.
+
+    Structure-based: any two datatypes whose ``count`` elements flatten
+    to the same pack-order layout get the same key, whoever built them
+    and however (``vector`` vs ``hindexed`` runs, struct-wrapped,
+    resized, dup'ed).  The CUDA_DEV work list depends only on the spans
+    and ``S``, so sharing entries across such types is exact, and the
+    DEV validator's cache-hit rebuild check cross-verifies it.
+    """
+    return (canonicalize(dt, count).key, unit_size)
+
+
+def display_id(dt: Datatype) -> str:
+    """Short, stable display id derived from the canonical key.
+
+    Unlike the old ``#<type_id>`` global-counter suffix, this does not
+    change with construction order, so reprs embedded in traces, logs
+    and bench output diff cleanly across runs and test orderings.
+    """
+    if not dt.committed:
+        return "uncommitted"
+    key = canonicalize(dt, 1).key
+    h = hashlib.blake2b(repr(key).encode(), digest_size=4)
+    return h.hexdigest()
+
+
+# -- cost model --------------------------------------------------------------
+#
+# Relative per-byte costs of each plan's inner loop, in arbitrary units.
+# Only the ordering matters for selection; the constants encode what the
+# paper (and the repo's own benchmarks) measured: one big copy beats
+# row-wise strided copies, which beat an element-granular gather, which
+# beats the interpreted stack walk by a wide margin.  Per-block overheads
+# make many-tiny-block layouts prefer the gather map once rows get small.
+
+_BYTE_COST = {
+    PLAN_MEMCPY: 1.0,
+    PLAN_STRIDED2D: 1.2,
+    PLAN_VECTOR_KERNEL: 1.2,
+    PLAN_GATHER: 4.0,
+    PLAN_STACK: 40.0,
+}
+#: fixed per-block overhead (loop iteration / descriptor fetch)
+_BLOCK_COST = {
+    PLAN_MEMCPY: 0.0,
+    PLAN_STRIDED2D: 16.0,
+    PLAN_VECTOR_KERNEL: 16.0,
+    PLAN_GATHER: 8.0,
+    PLAN_STACK: 64.0,
+}
+
+
+def plan_cost(form: CanonicalForm, plan: str) -> float:
+    """Modelled cost (arbitrary units) of executing ``plan`` on ``form``."""
+    return form.size * _BYTE_COST[plan] + form.blocks * _BLOCK_COST[plan]
+
+
+def _cpu_feasible(form: CanonicalForm, unit: int, base_offset: int) -> list:
+    """CPU plans able to execute ``form`` exactly, cheapest-capable first."""
+    if base_offset % unit != 0:
+        # the gather map and strided views are element-granular; a
+        # sub-unit base shift is only expressible by the stack machine
+        return [PLAN_STACK]
+    feasible = []
+    shape = form.vector_shape
+    aligned = shape is not None and (
+        shape.blocklength % unit == 0
+        and shape.stride % unit == 0
+        and shape.first_disp % unit == 0
+        and shape.stride >= shape.blocklength
+        and shape.count > 0
+    )
+    if form.kind == "contig" and aligned:
+        feasible.append(PLAN_MEMCPY)
+    if form.kind == "vector" and aligned:
+        feasible.append(PLAN_STRIDED2D)
+    feasible.append(PLAN_GATHER)
+    feasible.append(PLAN_STACK)
+    return feasible
+
+
+def select_cpu_plan(
+    form: CanonicalForm, unit: int, base_offset: int = 0
+) -> str:
+    """Cheapest feasible CPU pack plan for ``form`` at granularity ``unit``."""
+    feasible = _cpu_feasible(form, unit, base_offset)
+    return min(feasible, key=lambda p: plan_cost(form, p))
+
+
+#: GPU gather surcharge per block: CUDA_DEV descriptor emission + upload.
+#: The vector/memcpy kernels need no DEV preparation at all (Section 3.1),
+#: which is why they win whenever the form admits them.
+_GPU_DEV_PREP_COST = 24.0
+
+
+def select_gpu_plan(form: CanonicalForm, force_dev: bool = False) -> str:
+    """Cheapest feasible GPU pack plan for ``form``.
+
+    ``force_dev`` pins the generic CUDA_DEV path (the paper's ablation
+    knob).  The empty form packs zero bytes — call it a memcpy.
+    """
+    if force_dev:
+        return PLAN_GATHER
+    if form.kind == "empty":
+        return PLAN_MEMCPY
+
+    def cost(plan: str) -> float:
+        c = plan_cost(form, plan)
+        if plan == PLAN_GATHER:
+            c += form.blocks * _GPU_DEV_PREP_COST
+        return c
+
+    feasible = [PLAN_GATHER]
+    if form.kind == "contig":
+        feasible.append(PLAN_MEMCPY)
+    elif form.kind == "vector":
+        feasible.append(PLAN_VECTOR_KERNEL)
+    return min(feasible, key=cost)

@@ -4,14 +4,22 @@ Two interchangeable engines exist:
 
 * :class:`repro.datatype.stack.StackMachine` — the faithful Open MPI
   stack walk, resumable at any byte (reference implementation);
-* the **gather fast path** here — a cached NumPy index array at the
-  datatype's granularity (8 B for double-based types), so packing a
-  fragment is one fancy-index expression.  This is the moral equivalent
-  of the paper's cached CUDA_DEV list: it depends only on the type's
-  *shape*, never on buffer addresses, so it is computed once per
-  (datatype, count) and reused for every subsequent pack/unpack.
+* the **compiled pack plans** here, selected per (datatype, count) from
+  the canonical IR (:mod:`repro.datatype.canonical`) by its cost model:
 
-Both are validated against each other by property tests.
+  - ``memcpy``    — single gap-free block: one slice copy per range;
+  - ``strided2d`` — uniform vector: head/body/tail strided slice copies
+    (the CPU counterpart of ``cudaMemcpy2D``);
+  - ``gather``    — a cached NumPy index array at the datatype's
+    granularity (8 B for double-based types), so packing a fragment is
+    one fancy-index expression — the moral equivalent of the paper's
+    cached CUDA_DEV list: it depends only on the type's *shape*, never
+    on buffer addresses, so it is computed once per (datatype, count)
+    and reused for every subsequent pack/unpack;
+  - ``stack``     — the resumable stack walk, for sub-granularity base
+    offsets no precompiled map can express.
+
+Both engines are validated against each other by property tests.
 """
 
 from __future__ import annotations
@@ -21,6 +29,14 @@ from typing import Optional
 
 import numpy as np
 
+from repro.datatype.canonical import (
+    PLAN_GATHER,
+    PLAN_MEMCPY,
+    PLAN_STACK,
+    PLAN_STRIDED2D,
+    canonicalize,
+    select_cpu_plan,
+)
 from repro.datatype.ddt import Datatype
 from repro.datatype.stack import StackMachine, compile_datatype
 from repro.datatype.typemap import Spans
@@ -113,24 +129,19 @@ class Convertor:
         lo = dt.spans_for_count(count).true_lb if count else 0
         if base_offset + lo < 0:
             raise ValueError("datatype reaches below the start of the buffer")
+        #: canonical normal form of (datatype, count) — the structural
+        #: identity plan selection and the DevCache key on
+        self.form = canonicalize(dt, count)
+        #: compiled pack plan the cost model chose for this stream
+        self.plan = select_cpu_plan(self.form, self._unit, base_offset)
         #: uniform-vector shape, when the whole stream is expressible as
         #: a strided 2-D copy (the CPU counterpart of cudaMemcpy2D)
         self._vec = None
         self._rows_view: Optional[np.ndarray] = None
-        if base_offset % self._unit != 0:
+        if self.plan == PLAN_STACK:
             self._fallback()  # misaligned base: stack machine from the start
-        else:
-            u = self._unit
-            shape = dt.as_vector(count)
-            if (
-                shape is not None
-                and shape.count > 0
-                and shape.blocklength % u == 0
-                and shape.stride % u == 0
-                and shape.first_disp % u == 0
-                and shape.stride >= shape.blocklength
-            ):
-                self._vec = shape
+        elif self.plan in (PLAN_MEMCPY, PLAN_STRIDED2D):
+            self._vec = self.form.vector_shape
 
     # -- internals -------------------------------------------------------
     def _elems(self) -> np.ndarray:
@@ -161,6 +172,7 @@ class Convertor:
             spb = v.stride // u  # elements between successive block starts
             if start < 0 or start + (v.count - 1) * spb + epb > len(elems):
                 self._vec = None  # layout exceeds the buffer: no fast path
+                self.plan = PLAN_GATHER
                 return None
             item = elems.dtype.itemsize
             self._rows_view = np.lib.stride_tricks.as_strided(
@@ -221,6 +233,7 @@ class Convertor:
 
     def _fallback(self) -> StackMachine:
         if self._stack is None:
+            self.plan = PLAN_STACK
             prog = compile_datatype(self.dt, self.count)
             self._stack = StackMachine(
                 prog, self.user, direction=self.direction, base_disp=self.base_offset

@@ -35,6 +35,12 @@ __all__ = [
     "resized",
 ]
 
+# Per-object identity counter.  INTERNAL to repro.datatype: it is unique
+# per constructed object, so keying anything on it defeats structural
+# sharing, and its value depends on construction order, so nothing
+# user-visible may derive from it (use the canonical key / ``display_id``
+# instead; ``repro.sanitize.lint`` rule SAN-L004 enforces this outside
+# this package).
 _type_ids = itertools.count()
 
 
@@ -86,10 +92,10 @@ class Datatype:
         self.params = params or {}
         self.committed = False
         self._spans: Optional[Spans] = None
-        self._vector_shape: Optional[VectorShape] = None
-        self._vector_checked = False
         #: per-(count) caches used by the convertor fast path
         self._gather_cache: dict[tuple[int, int], np.ndarray] = {}
+        #: per-count canonical forms (repro.datatype.canonical)
+        self._canon_cache: dict = {}
 
     # -- extent ------------------------------------------------------------
     @property
@@ -136,15 +142,15 @@ class Datatype:
 
     # -- uniform-vector detection ------------------------------------------
     def as_vector(self, count: int = 1) -> Optional[VectorShape]:
-        """Return the uniform-vector shape of ``count`` elements, if any."""
-        if count == 1 and self._vector_checked:
-            shape = self._vector_shape
-        else:
-            shape = _detect_vector(self.spans_for_count(count))
-            if count == 1:
-                self._vector_shape = shape
-                self._vector_checked = True
-        return shape
+        """Return the uniform-vector shape of ``count`` elements, if any.
+
+        Delegates to the canonical IR (:mod:`repro.datatype.canonical`),
+        which caches the classification per count — so the engines, the
+        convertor and the cache key all agree on one normal form.
+        """
+        from repro.datatype.canonical import canonicalize
+
+        return canonicalize(self, count).vector_shape
 
     # -- misc -----------------------------------------------------------------
     def granularity(self) -> int:
@@ -209,8 +215,16 @@ class Datatype:
             parts.append(child.describe(indent + 1))
         return "\n".join(parts)
 
+    @property
+    def display_id(self) -> str:
+        """Stable short id derived from the canonical key (not the global
+        construction counter, whose value depends on test/run ordering)."""
+        from repro.datatype.canonical import display_id
+
+        return display_id(self)
+
     def __repr__(self) -> str:
-        return f"Datatype<{self.kind}#{self.type_id}, size={self.size}B>"
+        return f"Datatype<{self.kind}@{self.display_id}, size={self.size}B>"
 
 
 def _detect_vector(spans: Spans) -> Optional[VectorShape]:

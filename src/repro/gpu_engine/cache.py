@@ -14,8 +14,20 @@ resident entry is charged exactly its ``descriptor_bytes``, oversized
 descriptors are refused outright (they would otherwise be inserted
 uncharged and drive ``bytes_cached`` negative on eviction), and the
 invariant ``0 <= bytes_cached <= budget_bytes`` is checked after every
-mutation.  Hit/miss counting is unified in one place so the ``get`` and
-``put`` paths can never disagree.
+mutation.
+
+Entries are keyed on the **canonical key** of ``(datatype, count, S)``
+(:func:`repro.datatype.canonical.canonical_key`), not on object identity:
+the CUDA_DEV work list depends only on the type's flattened span layout,
+so two structurally identical datatypes built separately — two tenants,
+the same workload re-run, a ``vector`` vs an equivalent ``hindexed`` —
+share one resident descriptor array instead of silently re-paying the
+first-iteration preparation cost per construction.
+
+Counter semantics: ``hits``/``misses`` are **lookup-only** (``get``, and
+the lookup half of ``put``'s miss path).  ``put`` finding its key already
+resident records ``put_resident`` instead of a hit, so pre-populating via
+:meth:`put`/``warm_cache`` can never inflate the observed hit rate.
 """
 
 from __future__ import annotations
@@ -23,6 +35,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Optional
 
+from repro.datatype.canonical import canonical_key
 from repro.datatype.ddt import Datatype
 from repro.gpu_engine.dev import to_devs
 from repro.gpu_engine.work_units import WorkUnits, split_units
@@ -60,17 +73,22 @@ class DevCache:
         self.insertions = 0
         self.evictions = 0
         self.bytes_evicted = 0
+        #: ``put`` calls that found their key already resident (distinct
+        #: from ``hits`` so pre-population cannot inflate the hit rate)
+        self.put_resident = 0
         #: descriptors larger than the whole budget, refused (never resident)
         self.rejected_oversized = 0
         m = metrics if metrics is not None else MetricsRegistry().scoped("cache.")
         self._m_hits = m.counter("hits")
         self._m_misses = m.counter("misses")
         self._m_evictions = m.counter("evictions")
+        self._m_put_resident = m.counter("put_resident")
         self._m_rejected = m.counter("rejected_oversized")
         self._m_bytes = m.gauge("bytes_cached")
 
     def _key(self, dt: Datatype, count: int, unit_size: int) -> tuple:
-        return (dt.type_id, count, unit_size)
+        """Structural cache key: canonical form + S, not object identity."""
+        return canonical_key(dt, count, unit_size)
 
     # -- unified hit/miss accounting (the only place counters move) --------
     def _record_hit(self, key: tuple) -> WorkUnits:
@@ -108,15 +126,19 @@ class DevCache:
         """Cache (charging GPU memory) and return the unit array.
 
         ``units`` may be passed when the caller already computed the split.
-        A key already resident counts as a *hit* — exactly like ``get`` —
-        so pre-populating via :meth:`put` keeps the hit/miss totals
-        consistent with the lookup path.  Descriptors larger than the
-        whole budget are refused (returned uncached) rather than inserted
-        uncharged.
+        A key already resident is recorded under ``put_resident`` — *not*
+        as a hit: ``hits``/``misses`` count lookups only, so callers that
+        pre-populate (``warm_cache``, double inserts) cannot inflate the
+        observed hit rate.  The entry is still refreshed in LRU order.
+        Descriptors larger than the whole budget are refused (returned
+        uncached) rather than inserted uncharged.
         """
         key = self._key(dt, count, unit_size)
         if key in self._entries:
-            return self._record_hit(key)
+            self._entries.move_to_end(key)
+            self.put_resident += 1
+            self._m_put_resident.inc()
+            return self._entries[key][0]
         if units is None:
             units = split_units(to_devs(dt, count), unit_size)
         need = units.descriptor_bytes
@@ -165,6 +187,7 @@ class DevCache:
         self.hits = self.misses = 0
         self.insertions = self.evictions = 0
         self.bytes_evicted = 0
+        self.put_resident = 0
         self.rejected_oversized = 0
 
     @property
@@ -179,6 +202,7 @@ class DevCache:
             misses=self.misses,
             insertions=self.insertions,
             evictions=self.evictions,
+            put_resident=self.put_resident,
             rejected_oversized=self.rejected_oversized,
             entries=len(self._entries),
             bytes_cached=self.bytes_cached,

@@ -24,6 +24,14 @@ from typing import Optional
 import numpy as np
 
 from repro.cuda.uma import is_mapped_host
+from repro.datatype.canonical import (
+    GPU_PLANS,
+    PLAN_GATHER,
+    PLAN_MEMCPY,
+    PLAN_VECTOR_KERNEL,
+    canonicalize,
+    select_gpu_plan,
+)
 from repro.datatype.convertor import Convertor
 from repro.datatype.ddt import Datatype, VectorShape
 from repro.gpu_engine.cache import DevCache
@@ -98,8 +106,19 @@ class PackJob:
         self.unit_size = options.unit_size or p.dev_unit_size
         self.convertor = Convertor(dt, count, user_buf.bytes, direction)
 
-        shape = None if options.force_dev_path else dt.as_vector(count)
+        self.form = canonicalize(dt, count)
+        self.plan = select_gpu_plan(self.form, force_dev=options.force_dev_path)
+        shape = (
+            self.form.vector_shape
+            if self.plan in (PLAN_MEMCPY, PLAN_VECTOR_KERNEL)
+            else None
+        )
+        if shape is None:
+            # the empty form has no vector view; it rides the (trivially
+            # empty) DEV path like any other non-vector layout
+            self.plan = PLAN_GATHER
         self.vector_shape: Optional[VectorShape] = shape
+        engine._m_plans[self.plan].inc()
         self.units: Optional[WorkUnits] = None
         self._prepped_units = 0
         self._prep_charged = False
@@ -503,6 +522,8 @@ class GpuDatatypeEngine:
         self._m_bytes = self.metrics.counter("bytes_packed")
         self._m_prep = self.metrics.timer("prep_seconds")
         self._m_kernel = self.metrics.timer("kernel_seconds")
+        #: jobs per selected pack plan (canonical-form cost-model output)
+        self._m_plans = {p: self.metrics.counter(f"plan.{p}") for p in GPU_PLANS}
 
     def stats(self) -> EngineStats:
         """Structured totals for the two pipeline stages plus the cache."""
@@ -513,6 +534,7 @@ class GpuDatatypeEngine:
             kernel_s=self._m_kernel.seconds,
             bytes_packed=self._m_bytes.value,
             cache=self.cache.stats(),
+            plans={p: c.value for p, c in self._m_plans.items()},
         )
 
     def reset_counters(self) -> None:
@@ -523,6 +545,7 @@ class GpuDatatypeEngine:
             self._m_bytes,
             self._m_prep,
             self._m_kernel,
+            *self._m_plans.values(),
         ):
             m.reset()
         self.cache.reset_counters()

@@ -93,6 +93,9 @@ class CacheStats:
     misses: int = 0
     insertions: int = 0
     evictions: int = 0
+    #: ``put`` calls that found their key already resident — kept apart
+    #: from ``hits`` so pre-population cannot inflate the hit rate
+    put_resident: int = 0
     rejected_oversized: int = 0
     entries: int = 0
     bytes_cached: int = 0
@@ -101,6 +104,7 @@ class CacheStats:
 
     @property
     def lookups(self) -> int:
+        """Lookup-path consultations only (``get``); excludes pre-populates."""
         return self.hits + self.misses
 
     @property
@@ -116,6 +120,7 @@ class CacheStats:
             misses=self.misses + other.misses,
             insertions=self.insertions + other.insertions,
             evictions=self.evictions + other.evictions,
+            put_resident=self.put_resident + other.put_resident,
             rejected_oversized=self.rejected_oversized + other.rejected_oversized,
             entries=self.entries + other.entries,
             bytes_cached=self.bytes_cached + other.bytes_cached,
@@ -140,9 +145,14 @@ class EngineStats:
     kernel_s: float = 0.0
     bytes_packed: int = 0
     cache: CacheStats = field(default_factory=CacheStats)
+    #: jobs per selected pack plan (memcpy / vector_kernel / gather)
+    plans: dict = field(default_factory=dict)
 
     def merged(self, other: "EngineStats") -> "EngineStats":
         """Element-wise sum of two engines' totals (caches included)."""
+        plans = dict(self.plans)
+        for name, n in other.plans.items():
+            plans[name] = plans.get(name, 0) + n
         return EngineStats(
             jobs=self.jobs + other.jobs,
             fragments=self.fragments + other.fragments,
@@ -150,6 +160,7 @@ class EngineStats:
             kernel_s=self.kernel_s + other.kernel_s,
             bytes_packed=self.bytes_packed + other.bytes_packed,
             cache=self.cache.merged(other.cache),
+            plans=plans,
         )
 
     def to_dict(self) -> dict:

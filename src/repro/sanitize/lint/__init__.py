@@ -22,6 +22,14 @@ Three rules, each guarding an invariant the simulation depends on:
     (``counter`` vs ``gauge`` vs ``histogram`` vs ``timer``).  The
     registry raises at runtime only if the two registrations actually
     execute in one process; the lint catches the conflict statically.
+
+``SAN-L004`` **canonical identity** (everywhere scanned except
+    ``repro/datatype`` internals): no ``.type_id`` access.  ``type_id``
+    is a per-construction global counter — keying a cache or dict on it
+    makes structurally identical datatypes look distinct (the
+    identity-keyed DevCache bug) and leaks construction order into
+    output.  Use :func:`repro.datatype.canonical.canonical_key` for
+    cache identity and ``display_id`` for human-readable ids.
 """
 
 from __future__ import annotations
@@ -36,6 +44,8 @@ __all__ = ["LintViolation", "run_lint", "lint_file", "iter_py_files"]
 DETERMINISM_DIRS = ("repro/sim", "repro/mpi", "repro/gpu_engine")
 #: path fragment where SAN-L002 applies
 PROTOCOL_DIR = "repro/mpi/protocols"
+#: path fragment exempt from SAN-L004 (type_id's owning package)
+DATATYPE_DIR = "repro/datatype"
 
 #: dotted-call prefixes that read wall clocks or ambient entropy
 _NONDET_CALLS = (
@@ -97,9 +107,27 @@ def lint_file(path: str, source: str, metric_sites: dict) -> list:
     norm = _norm(path)
     check_determinism = any(frag in norm for frag in DETERMINISM_DIRS)
     check_protocol = PROTOCOL_DIR in norm
+    check_type_id = DATATYPE_DIR not in norm
     out: list = []
 
     for node in ast.walk(tree):
+        if (
+            check_type_id
+            and isinstance(node, ast.Attribute)
+            and node.attr == "type_id"
+        ):
+            out.append(
+                LintViolation(
+                    path,
+                    node.lineno,
+                    "SAN-L004",
+                    "type_id is a per-construction counter, not an "
+                    "identity: keying on it makes structurally identical "
+                    "datatypes look distinct and leaks construction order "
+                    "into output; use repro.datatype.canonical."
+                    "canonical_key (caches) or .display_id (display)",
+                )
+            )
         if isinstance(node, ast.Call):
             name = _dotted(node.func)
             if check_determinism and name:

@@ -1,0 +1,229 @@
+"""Tests for the canonical datatype IR and the compiled pack plans.
+
+The contract under test: any two ways of building the same logical
+layout canonicalize to the same key (so caches actually hit across
+constructions), and every pack plan the cost model can select moves
+exactly the same bytes as the legacy stack machine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datatype.canonical import (
+    PLAN_GATHER,
+    PLAN_MEMCPY,
+    PLAN_STACK,
+    PLAN_STRIDED2D,
+    PLAN_VECTOR_KERNEL,
+    canonical_key,
+    canonicalize,
+    display_id,
+    plan_cost,
+    select_cpu_plan,
+    select_gpu_plan,
+)
+from repro.datatype.convertor import Convertor, pack_bytes, unpack_bytes
+from repro.datatype.ddt import (
+    contiguous,
+    hindexed,
+    hvector,
+    indexed,
+    resized,
+    struct,
+    vector,
+)
+from repro.datatype.primitives import BYTE, DOUBLE, INT
+
+from .strategies import buffer_for, datatypes, reference_pack
+
+S = 4096
+
+
+def key1(dt):
+    return canonical_key(dt, 1, S)
+
+
+class TestEquivalentConstructions:
+    """Same logical layout, different constructor trees -> same key."""
+
+    def test_vector_hvector_hindexed_unify(self):
+        c, bl, stride = 7, 3, 5
+        v = vector(c, bl, stride, DOUBLE)
+        hv = hvector(c, bl, stride * 8, DOUBLE)
+        hi = hindexed([bl] * c, [i * stride * 8 for i in range(c)], DOUBLE)
+        assert key1(v) == key1(hv) == key1(hi)
+        assert canonicalize(v).kind == "vector"
+
+    def test_contiguous_collapse(self):
+        # stride == blocklength: the "vector" is really contiguous
+        v = vector(6, 4, 4, DOUBLE)
+        c = contiguous(24, DOUBLE)
+        b = contiguous(192, BYTE)
+        assert key1(v) == key1(c) == key1(b)
+        assert canonicalize(v).kind == "contig"
+
+    def test_indexed_run_merging(self):
+        # touching indexed blocks coalesce into the same maximal runs
+        a = indexed([2, 2, 3], [0, 2, 10], INT)
+        b = indexed([4, 1, 2], [0, 10, 11], INT)
+        assert key1(a) == key1(b)
+
+    def test_struct_flattening(self):
+        inner = vector(4, 2, 5, DOUBLE)
+        wrapped = struct([1], [0], [inner])
+        assert key1(wrapped) == key1(inner)
+
+    def test_resized_and_dup_erased_at_count_1(self):
+        base = vector(4, 2, 5, DOUBLE).commit()
+        r = resized(base, base.lb, base.extent + 64)
+        assert key1(r) == key1(base)
+        assert key1(base.dup()) == key1(base)
+
+    def test_resized_extent_matters_at_count_2(self):
+        # at count > 1 the extent tiles the layout: keys must differ
+        base = vector(4, 2, 5, DOUBLE).commit()
+        r = resized(base, base.lb, base.extent + 64)
+        assert canonical_key(base, 2, S) != canonical_key(r, 2, S)
+
+    def test_count_folds_into_the_key(self):
+        # contiguous(2, D) packed once == D packed twice
+        assert canonical_key(contiguous(2, DOUBLE), 1, S) == canonical_key(
+            contiguous(1, DOUBLE), 2, S
+        )
+
+    def test_unit_size_distinguishes_keys(self):
+        dt = vector(4, 2, 5, DOUBLE)
+        assert canonical_key(dt, 1, 1024) != canonical_key(dt, 1, 4096)
+
+    def test_different_layouts_different_keys(self):
+        assert key1(vector(4, 2, 5, DOUBLE)) != key1(vector(4, 2, 6, DOUBLE))
+        assert key1(indexed([1, 2], [0, 4], INT)) != key1(
+            indexed([2, 1], [0, 4], INT)
+        )
+
+    @given(dt=datatypes(), pad=st.integers(0, 64))
+    @settings(max_examples=60, deadline=None)
+    def test_dup_and_same_extent_resize_share_keys(self, dt, pad):
+        assert key1(dt.dup()) == key1(dt)
+        r = resized(dt, dt.lb, dt.extent + pad)
+        assert key1(r) == key1(dt)
+
+
+class TestDisplayId:
+    def test_structural_not_positional(self):
+        a = vector(5, 2, 7, DOUBLE).commit()
+        b = hvector(5, 2, 56, DOUBLE).commit()  # same layout, built later
+        assert a.display_id == b.display_id == display_id(a)
+        assert a.display_id != contiguous(10, DOUBLE).commit().display_id
+
+    def test_uncommitted_has_placeholder(self):
+        assert display_id(vector(5, 2, 7, DOUBLE)) == "uncommitted"
+
+    def test_repr_uses_display_id(self):
+        dt = vector(5, 2, 7, DOUBLE).commit()
+        assert dt.display_id in repr(dt)
+
+
+class TestPlanSelection:
+    def test_contig_aligned_is_memcpy(self):
+        form = canonicalize(contiguous(32, DOUBLE))
+        assert select_cpu_plan(form, 8) == PLAN_MEMCPY
+        assert select_gpu_plan(form) == PLAN_MEMCPY
+
+    def test_vector_aligned_is_strided(self):
+        form = canonicalize(vector(8, 4, 6, DOUBLE))
+        assert select_cpu_plan(form, 8) == PLAN_STRIDED2D
+        assert select_gpu_plan(form) == PLAN_VECTOR_KERNEL
+
+    def test_vector_misaligned_for_unit_falls_back(self):
+        # 12-byte blocks cannot be walked in 8-byte elements
+        form = canonicalize(hvector(8, 12, 24, BYTE))
+        assert select_cpu_plan(form, 8) in (PLAN_GATHER, PLAN_STACK)
+
+    def test_irregular_is_gather(self):
+        form = canonicalize(indexed([1, 2, 1], [0, 3, 9], DOUBLE))
+        assert form.kind == "runs"
+        assert select_cpu_plan(form, 8) == PLAN_GATHER
+        assert select_gpu_plan(form) == PLAN_GATHER
+
+    def test_misaligned_base_forces_stack(self):
+        form = canonicalize(contiguous(32, DOUBLE))
+        assert select_cpu_plan(form, 8, base_offset=4) == PLAN_STACK
+
+    def test_force_dev_pins_gather(self):
+        form = canonicalize(vector(8, 4, 6, DOUBLE))
+        assert select_gpu_plan(form, force_dev=True) == PLAN_GATHER
+
+    def test_cost_ordering_sane(self):
+        form = canonicalize(contiguous(32, DOUBLE))
+        assert (
+            plan_cost(form, PLAN_MEMCPY)
+            < plan_cost(form, PLAN_GATHER)
+            < plan_cost(form, PLAN_STACK)
+        )
+
+
+class TestPlanEquivalence:
+    """Every selected plan moves exactly the stack machine's bytes."""
+
+    CASES = [
+        ("contig", lambda: contiguous(100, DOUBLE)),
+        ("vector", lambda: vector(9, 3, 7, DOUBLE)),
+        ("hvector-odd", lambda: hvector(5, 3, 29, BYTE)),
+        ("runs", lambda: indexed([1, 3, 2], [0, 5, 20], DOUBLE)),
+        ("struct", lambda: struct([2, 1], [0, 48], [INT, DOUBLE])),
+    ]
+
+    @pytest.mark.parametrize("name,make", CASES, ids=[c[0] for c in CASES])
+    @pytest.mark.parametrize("count", [1, 3])
+    def test_pack_matches_oracle_and_stack(self, name, make, count):
+        dt = make().commit()
+        rng = np.random.default_rng(17)
+        user = buffer_for(dt, count, rng)
+        oracle = reference_pack(dt, count, user)
+
+        packed = pack_bytes(dt, count, user)
+        assert np.array_equal(packed, oracle)
+
+        # the legacy convertor: force the stack machine on the same input
+        conv = Convertor(dt, count, user, "pack")
+        conv._fallback()
+        assert conv.plan == PLAN_STACK
+        out = np.empty(conv.total_bytes, dtype=np.uint8)
+        conv.pack(out)
+        assert np.array_equal(out, oracle)
+
+        # unpack roundtrip restores the layout bytes
+        blank = np.zeros_like(user)
+        unpack_bytes(dt, count, blank, packed)
+        mask = np.zeros(len(user), dtype=bool)
+        for d, l in dt.spans_for_count(count).iter_pairs():
+            mask[d : d + l] = True
+        assert np.array_equal(blank[mask], user[mask])
+        assert not blank[~mask].any()
+
+    @given(dt=datatypes(), count=st.integers(1, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_property_pack_matches_oracle(self, dt, count):
+        rng = np.random.default_rng(3)
+        user = buffer_for(dt, count, rng)
+        assert np.array_equal(
+            pack_bytes(dt, count, user), reference_pack(dt, count, user)
+        )
+
+
+class TestDevCacheReuse:
+    def test_second_construction_hits(self, gpu):
+        from repro.gpu_engine.cache import DevCache
+
+        cache = DevCache(gpu)
+        c, bl, stride = 6, 2, 9
+        units = cache.put(vector(c, bl, stride, DOUBLE), 1, S)
+        # an equivalent type built a *different* way still hits
+        hi = hindexed([bl * 8] * c, [i * stride * 8 for i in range(c)], BYTE)
+        assert cache.get(hi, 1, S) is units
+        assert cache.hits == 1 and cache.misses == 0

@@ -77,6 +77,33 @@ class TestMetricIdentityRule:
         assert not _metric_conflicts(sites)
 
 
+class TestCanonicalIdentityRule:
+    DT_PATH = "src/repro/datatype/ddt.py"
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "cache[dt.type_id] = units\n",
+            "key = (dt.type_id, count)\n",
+            "print(self.dt.type_id)\n",
+        ],
+    )
+    def test_type_id_flagged_outside_datatype_package(self, snippet):
+        out = lint_src(OTHER_PATH, snippet)
+        assert [v.code for v in out] == ["SAN-L004"]
+        assert "canonical_key" in out[0].message
+
+    def test_type_id_allowed_inside_datatype_package(self):
+        assert not lint_src(self.DT_PATH, "seen.add(dt.type_id)\n")
+
+    def test_canonical_key_is_legal_everywhere(self):
+        out = lint_src(
+            OTHER_PATH,
+            "key = canonical_key(dt, count, s)\nname = dt.display_id\n",
+        )
+        assert not out
+
+
 class TestSyntaxRule:
     def test_unparsable_file_reported(self):
         out = lint_src(SIM_PATH, "def broken(:\n")
