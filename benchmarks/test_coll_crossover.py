@@ -1,0 +1,115 @@
+"""Collective algorithm ladder: the staged-vs-direct alltoall crossover.
+
+The GPU-datatype-aware alltoall can move each peer block four ways
+(docs/COLLECTIVES.md); the two GPU-resident contenders are:
+
+* **staged** — pack every remote block, batch ONE D2H, exchange through
+  host memory, batch ONE H2D on the receiver.  Pays the PCIe bounce
+  twice but amortizes per-message costs across all peers;
+* **direct** — per-peer one-sided moves over IPC-mapped windows, no
+  batching but no host bounce for intra-node peers.
+
+Expectation (mostly-inter-node topologies): staged wins small blocks,
+direct wins large ones, and the crossover sits in the 16-64 KB band the
+``coll_staged_threshold`` default (32 KB) mirrors — resonant with the
+paper's ~30 KB GPUDirect-profitability note.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import Series, fmt_time
+from repro.bench.harness import alltoall_times
+from repro.bench.profiles import current as current_profile
+from repro.mpi.collectives import CollAlgorithm
+from repro.mpi.config import MpiConfig
+
+PROFILE = current_profile()
+SIZES = PROFILE.pick(
+    [1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10],
+    [4 << 10, 16 << 10, 64 << 10],
+)
+TOPOS = PROFILE.pick([(4, 1), (4, 2), (8, 1)], [(4, 2)])
+ALGOS = [CollAlgorithm.STAGED, CollAlgorithm.DIRECT]
+
+
+@pytest.mark.figure("coll_crossover")
+def test_staged_vs_direct_crossover(benchmark, show):
+    """Staged wins the smallest block, direct the largest, flip in between."""
+    for n_nodes, gpn in TOPOS:
+        series = Series(
+            f"alltoall {n_nodes}x{gpn}: staged vs direct",
+            "block",
+            ["staged", "direct"],
+        )
+        for nbytes in SIZES:
+            series.add(nbytes, **alltoall_times(
+                nbytes, ALGOS, n_nodes=n_nodes, gpus_per_node=gpn
+            ))
+        show(series.to_table(fmt_time))
+
+        staged = series.column("staged")
+        direct = series.column("direct")
+        assert staged[0] < direct[0], (
+            f"{n_nodes}x{gpn}: staged should win the {SIZES[0]}B block"
+        )
+        assert direct[-1] < staged[-1], (
+            f"{n_nodes}x{gpn}: direct should win the {SIZES[-1]}B block"
+        )
+        flips = [i for i in range(len(SIZES)) if direct[i] < staged[i]]
+        crossover = SIZES[flips[0]]
+        assert SIZES[0] < crossover <= 256 << 10, (
+            f"{n_nodes}x{gpn}: crossover at {crossover}B out of band"
+        )
+
+
+def _auto_alltoall_algo(block_bytes: int) -> dict:
+    """Run one 'auto' alltoall; return the per-algorithm call counters."""
+    import numpy as np
+
+    from repro.datatype.ddt import contiguous
+    from repro.datatype.primitives import DOUBLE
+    from repro.hw.node import Cluster
+    from repro.mpi.collectives import alltoall
+    from repro.mpi.world import MpiWorld
+
+    size = 4
+    world = MpiWorld(
+        Cluster(2, 2), [(n, g) for n in range(2) for g in range(2)]
+    )
+    dt = contiguous(max(block_bytes // 8, 1), DOUBLE).commit()
+    rng = np.random.default_rng(3)
+    sendbufs, recvbufs = [], []
+    for r in range(size):
+        ctx = world.procs[r].ctx
+        srow, rrow = [], []
+        for _ in range(size):
+            sb = ctx.malloc(dt.size)
+            sb.bytes[:] = rng.integers(0, 255, dt.size, dtype=np.uint8)
+            rb = ctx.malloc(dt.size)
+            rb.fill(0)
+            srow.append(sb)
+            rrow.append(rb)
+        sendbufs.append(srow)
+        recvbufs.append(rrow)
+
+    def program(rank):
+        def run(mpi):
+            yield from alltoall(
+                mpi, sendbufs[rank], dt, 1, recvbufs[rank], dt, 1
+            )
+        return run
+
+    world.run({r: program(r) for r in range(size)})
+    return world.stats().coll_ops
+
+
+@pytest.mark.figure("coll_crossover")
+def test_auto_policy_tracks_threshold(benchmark, show):
+    """'auto' routes below-threshold blocks staged, larger ones not."""
+    cfg = MpiConfig()
+    below = _auto_alltoall_algo(cfg.coll_staged_threshold // 2)
+    above = _auto_alltoall_algo(cfg.coll_staged_threshold * 4)
+    assert below.get("alltoall.staged") == 4, below
+    assert "alltoall.staged" not in above, above

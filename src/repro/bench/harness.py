@@ -37,6 +37,7 @@ __all__ = [
     "one_way",
     "mvapich_pingpong",
     "pack_time",
+    "alltoall_times",
 ]
 
 
@@ -234,3 +235,67 @@ def pack_time(
     t0 = sim.now
     sim.run_until_complete(sim.spawn(job.process_all(dst, frag_bytes)))
     return sim.now - t0
+
+
+def alltoall_times(
+    block_bytes: int,
+    algorithms,
+    n_nodes: int = 2,
+    gpus_per_node: int = 2,
+    iters: int = 2,
+    config: Optional[MpiConfig] = None,
+) -> dict[str, float]:
+    """Simulated seconds per collective algorithm for one alltoall.
+
+    Each algorithm gets a fresh ``n_nodes x gpus_per_node`` world with
+    device buffers of ``block_bytes`` per peer; the first iteration is a
+    warm-up (IPC registration, staging-pool fill) and the remaining
+    ``iters`` are averaged.  Keys are ``CollAlgorithm`` values.
+    """
+    from repro.datatype.primitives import DOUBLE
+    from repro.datatype.ddt import contiguous
+    from repro.mpi.collectives import alltoall
+
+    size = n_nodes * gpus_per_node
+    count = max(block_bytes // DOUBLE.size, 1)
+    out: dict[str, float] = {}
+    for algo in algorithms:
+        dt = contiguous(count, DOUBLE).commit()
+        cluster = Cluster(n_nodes, gpus_per_node)
+        placements = [
+            (n, g) for n in range(n_nodes) for g in range(gpus_per_node)
+        ]
+        world = MpiWorld(cluster, placements, config=config)
+        rng = np.random.default_rng(13)
+        sendbufs, recvbufs = [], []
+        for r in range(size):
+            ctx = world.procs[r].ctx
+            srow, rrow = [], []
+            for _ in range(size):
+                sb = ctx.malloc(dt.size)
+                sb.bytes[:] = rng.integers(0, 255, dt.size, dtype=np.uint8)
+                rb = ctx.malloc(dt.size)
+                rb.fill(0)
+                srow.append(sb)
+                rrow.append(rb)
+            sendbufs.append(srow)
+            recvbufs.append(rrow)
+        marks: list[float] = []
+
+        def program(rank):
+            def run(mpi):
+                for _ in range(iters + 1):
+                    yield from alltoall(
+                        mpi, sendbufs[rank], dt, 1, recvbufs[rank], dt, 1,
+                        algorithm=algo,
+                    )
+                    yield mpi.barrier()
+                    if rank == 0:
+                        marks.append(mpi.sim.now)
+            return run
+
+        world.run({r: program(r) for r in range(size)})
+        out[getattr(algo, "value", str(algo))] = (
+            (marks[-1] - marks[0]) / iters
+        )
+    return out

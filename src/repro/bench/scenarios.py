@@ -617,3 +617,38 @@ def _cache_reuse(profile: Profile) -> dict[str, float]:
         "tenant2_misses": float(c2.misses),
         "tenant2_hit_rate": c2.hit_rate,
     }
+
+
+@scenario("coll_crossover")
+def _coll_crossover(profile: Profile) -> dict[str, float]:
+    """Rank-count x message-size sweep of the alltoall algorithm ladder.
+
+    Times the staged (batched copy-to-host) and direct (one-sided IPC)
+    alltoall over mostly-inter-node topologies and reports the per-peer
+    block size where direct first beats staged — the measured crossover
+    the ``coll_staged_threshold`` default mirrors.  Every time is off
+    the deterministic virtual clock, so the gate holds the crossover
+    point itself to the tight tolerance.
+    """
+    from repro.bench.harness import alltoall_times
+    from repro.mpi.collectives import CollAlgorithm
+
+    sizes = profile.pick(
+        [1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10],
+        [4 << 10, 16 << 10, 64 << 10],
+    )
+    topos = profile.pick([(4, 1), (4, 2), (8, 1)], [(4, 2)])
+    algos = [CollAlgorithm.STAGED, CollAlgorithm.DIRECT]
+    out: dict[str, float] = {}
+    for n_nodes, gpn in topos:
+        crossover = 0.0
+        for nbytes in sizes:
+            times = alltoall_times(
+                nbytes, algos, n_nodes=n_nodes, gpus_per_node=gpn
+            )
+            for algo, t in times.items():
+                out[f"n{n_nodes}x{gpn}_{nbytes >> 10}kb_{algo}_s"] = t
+            if not crossover and times["direct"] < times["staged"]:
+                crossover = float(nbytes)
+        out[f"n{n_nodes}x{gpn}_crossover_bytes"] = crossover
+    return out

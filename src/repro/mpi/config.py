@@ -83,6 +83,21 @@ class MpiConfig:
     #: pack kernels write it directly through the mapped window
     rdma_mode: str = "get"
 
+    #: collective algorithm selection (docs/COLLECTIVES.md): one of
+    #: "auto", "pairwise", "nonblocking", "staged", "direct",
+    #: "hierarchical".  "auto" keeps the classic per-op defaults
+    #: (binomial bcast, linear gather, ring allgather) and picks
+    #: staged-vs-direct for the alltoall family by message size; every
+    #: collective also accepts an explicit per-call override
+    coll_algorithm: str = "auto"
+    #: per-peer packed bytes at or below which "auto" routes the
+    #: alltoall family through the copy-to-host staged path; above it
+    #: the device-direct path wins.  The ``coll_crossover`` bench
+    #: scenario measures the flip at ~16-64 KB depending on topology
+    #: (mostly-inter-node worlds) — this default sits in that band, and
+    #: matches the paper's ~30 KB GPUDirect-profitability note
+    coll_staged_threshold: int = 32 * KB
+
     #: GPU datatype engine options
     engine: EngineOptions = field(default_factory=EngineOptions)
 
@@ -114,6 +129,22 @@ class MpiConfig:
             # silently fall into the GET branch
             raise ValueError(
                 f"rdma_mode must be 'get' or 'put', got {self.rdma_mode!r}"
+            )
+        if self.coll_algorithm not in (
+            "auto", "pairwise", "nonblocking", "staged", "direct",
+            "hierarchical",
+        ):
+            # collectives resolve this per call; a typo here would only
+            # surface deep inside the first collective of a run
+            raise ValueError(
+                "coll_algorithm must be one of 'auto', 'pairwise', "
+                "'nonblocking', 'staged', 'direct', 'hierarchical', "
+                f"got {self.coll_algorithm!r}"
+            )
+        if self.coll_staged_threshold < 0:
+            raise ValueError(
+                "coll_staged_threshold must be >= 0, got "
+                f"{self.coll_staged_threshold}"
             )
 
     def but(self, **kw) -> "MpiConfig":

@@ -35,6 +35,11 @@ class MatchingEngine:
         self._posted: list[PostedRecv] = []
         self._unexpected: list[tuple[Envelope, Any]] = []
         self._order = 0
+        #: next expected pair_seq per (source, comm_id)
+        self._next_pair: dict[tuple[int, int], int] = {}
+        #: out-of-order arrivals held until the gap closes, keyed
+        #: (source, comm_id) -> {pair_seq: (env, arrival)}
+        self._held: dict[tuple[int, int], dict[int, tuple[Envelope, Any]]] = {}
 
     # -- sender side -----------------------------------------------------
     def arrive(self, env: Envelope, arrival: Any) -> Optional[PostedRecv]:
@@ -43,7 +48,32 @@ class MatchingEngine:
         Returns the matched posted receive (already removed), or None.
         ``arrival`` is whatever the protocol needs to continue (an RTS
         descriptor, eager data, ...) and is handed to the receive.
+
+        Arrivals stamped with a ``pair_seq`` are re-sequenced per
+        (source, comm) before matching: a message that overtook an
+        earlier-posted one on the wire (smaller eager pack, injected
+        delay) is held back until the gap closes, so matching always
+        sees send order — MPI's non-overtaking guarantee.
         """
+        if env.pair_seq < 0:
+            return self._deliver(env, arrival)
+        key = (env.source, env.comm_id)
+        expected = self._next_pair.get(key, 0)
+        if env.pair_seq != expected:
+            self._held.setdefault(key, {})[env.pair_seq] = (env, arrival)
+            return None
+        matched = self._deliver(env, arrival)
+        expected += 1
+        held = self._held.get(key)
+        while held and expected in held:
+            e2, a2 = held.pop(expected)
+            self._deliver(e2, a2)
+            expected += 1
+        self._next_pair[key] = expected
+        return matched
+
+    def _deliver(self, env: Envelope, arrival: Any) -> Optional[PostedRecv]:
+        """Match an in-order arrival against posted receives, or queue it."""
         for i, post in enumerate(self._posted):
             if env.matches(post.source, post.tag) and env.comm_id == post.comm_id:
                 del self._posted[i]
@@ -56,19 +86,15 @@ class MatchingEngine:
     def post(self, post: PostedRecv) -> Optional[Any]:
         """Post a receive; if an unexpected message matches, consume it.
 
-        Unexpected messages from one source are scanned in arrival order,
-        preserving MPI's non-overtaking rule.
+        The unexpected queue is scanned in delivery order — :meth:`arrive`
+        re-sequences stamped arrivals before queueing, so list order *is*
+        send order per source, preserving MPI's non-overtaking rule.
         """
-        best_i = -1
-        best_seq = None
-        for i, (env, _arr) in enumerate(self._unexpected):
+        for i, (env, arrival) in enumerate(self._unexpected):
             if env.matches(post.source, post.tag) and env.comm_id == post.comm_id:
-                if best_seq is None or env.seq < best_seq:
-                    best_i, best_seq = i, env.seq
-        if best_i >= 0:
-            env, arrival = self._unexpected.pop(best_i)
-            post.on_match.resolve(arrival)
-            return arrival
+                del self._unexpected[i]
+                post.on_match.resolve(arrival)
+                return arrival
         post.posted_order = self._order
         self._order += 1
         self._posted.append(post)

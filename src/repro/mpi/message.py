@@ -18,13 +18,22 @@ _seq = itertools.count()
 
 @dataclass(frozen=True)
 class Envelope:
-    """MPI matching triple plus ordering sequence number."""
+    """MPI matching triple plus ordering sequence numbers.
+
+    ``seq`` is a global send-order stamp (used to pick the earliest
+    unexpected message); ``pair_seq`` is the contiguous per
+    (sender, dest, comm) counter the receiver's matching engine uses to
+    re-sequence arrivals — eager packs of different sizes (or
+    fault-injected delays) can deliver a later-posted message first, and
+    MPI's non-overtaking rule says matching must still follow post
+    order.  ``-1`` means unordered (no re-sequencing)."""
 
     source: int
     dest: int
     tag: int
     comm_id: int
     seq: int = field(default_factory=lambda: next(_seq))
+    pair_seq: int = -1
 
     def matches(self, want_source: int, want_tag: int) -> bool:
         """Does this envelope satisfy a posted (source, tag) pair?"""

@@ -47,8 +47,26 @@ __all__ = ["isend_coro", "irecv_coro"]
 _tids = itertools.count()
 
 
+def _times(sig, count: int):
+    """A datatype signature repeated ``count`` times.
+
+    Single-run signatures scale in place; multi-run ones concatenate
+    (seams stay un-coalesced — the prefix walk below tolerates adjacent
+    runs of the same name).
+    """
+    if count == 1:
+        return sig
+    return tuple((n, c * count) for n, c in sig) if len(sig) == 1 else sig * count
+
+
 def _signature_check(send_sig, recv_sig) -> None:
-    """MPI demands the send signature be a prefix of the receive's."""
+    """MPI demands the send signature be a prefix of the receive's.
+
+    Both sides pass their *full* signature (datatype signature scaled by
+    the call's count) — the standard's rule is about the whole message,
+    so a packed ``contiguous(c * n, BYTE)``-style wire type sent with
+    count 1 lands legally in ``c`` elements of the original type.
+    """
     flat_s = [(n, c) for n, c in send_sig]
     flat_r = [(n, c) for n, c in recv_sig]
     si = ri = 0
@@ -173,7 +191,10 @@ def isend_coro(
     total = dt.size * count
     dst_proc = world.procs[dest]
     btl = world.bml.btl_for(proc, dst_proc)
-    env = Envelope(source=proc.rank, dest=dest, tag=tag, comm_id=comm_id)
+    env = Envelope(
+        source=proc.rank, dest=dest, tag=tag, comm_id=comm_id,
+        pair_seq=proc.next_send_seq(dest, comm_id),
+    )
     cfg = proc.config
 
     if total <= cfg.eager_limit:
@@ -187,7 +208,7 @@ def isend_coro(
         header = {
             "eager": True,
             "total": total,
-            "signature": dt.signature,
+            "signature": _times(dt.signature, count),
             "gpudirect": gdr,
         }
         # the NIC reads device memory directly under GPUDirect (degraded
@@ -244,7 +265,7 @@ def isend_coro(
                 "tid": tid,
                 "total": total,
                 "side": s_info,
-                "signature": dt.signature,
+                "signature": _times(dt.signature, count),
             },
             envelope=env,
         )
@@ -285,7 +306,7 @@ def irecv_coro(
         PostedRecv(source=source, tag=tag, comm_id=comm_id, on_match=on_match)
     )
     env, header, payload, sender_rank = yield on_match
-    _signature_check(header["signature"], dt.signature)
+    _signature_check(header["signature"], _times(dt.signature, count))
 
     if header["eager"]:
         t0 = proc.sim.now

@@ -46,6 +46,9 @@ class MpiProcess:
             self.faults = FaultPlan(config.faults)
         self.sim: Simulator = node.sim
         self.matching = MatchingEngine()
+        #: per-(dest, comm) send counters backing the envelope pair_seq
+        #: stamp (the receiver re-sequences arrivals by it)
+        self._send_seq: dict[tuple[int, int], int] = {}
         #: rank-scoped view of the world's registry (own registry standalone)
         self.metrics = (
             metrics
@@ -133,6 +136,16 @@ class MpiProcess:
                 metrics=self.metrics.scoped("engine."),
             )
         return self._engine
+
+    def next_send_seq(self, dest: int, comm_id: int = 0) -> int:
+        """The next contiguous pair_seq for a send to ``dest``.
+
+        Stamped on the envelope at post time; the receiver's matching
+        engine re-sequences arrivals by it (non-overtaking)."""
+        key = (dest, comm_id)
+        seq = self._send_seq.get(key, 0)
+        self._send_seq[key] = seq + 1
+        return seq
 
     def record_transfer(self, stats: TransferStats) -> None:
         """Log a finished transfer and bump the per-protocol counters."""

@@ -31,7 +31,7 @@ from repro.sim.core import all_of
 if TYPE_CHECKING:
     from repro.mpi.world import MpiWorld, RankContext
 
-__all__ = ["RmaWindow"]
+__all__ = ["RmaWindow", "one_sided_move"]
 
 _win_ids = itertools.count()
 
@@ -106,7 +106,7 @@ class RmaWindow:
         self, mpi, origin_buf, origin_dt, origin_count,
         target, target_dt, target_count, target_offset, op,
     ):
-        from repro.mpi.pml import _signature_check
+        from repro.mpi.pml import _signature_check, _times
 
         origin_dt.commit()
         target_dt = (target_dt or origin_dt).commit()
@@ -131,137 +131,162 @@ class RmaWindow:
         self, mpi, origin_buf, origin_dt, origin_count,
         target, target_dt, target_count, target_offset, op,
     ):
-        proc = mpi.proc
-        world = self.world
-        target_proc = world.procs[target]
+        target_proc = self.world.procs[target]
         win_buf = self.buffers[target][target_offset:]
-        total = origin_dt.size * origin_count if op == "put" else (
-            target_dt.size * target_count
+        moved = yield from one_sided_move(
+            mpi.proc, origin_buf, origin_dt, origin_count,
+            target_proc, win_buf, target_dt, target_count, op,
         )
-        total = min(total, origin_dt.size * origin_count,
-                    target_dt.size * target_count)
-        if total == 0:
-            return 0
-        same_node = proc.node is target_proc.node
+        return moved
 
-        if same_node:
-            yield from self._intra_node(
-                proc, origin_buf, origin_dt, origin_count,
-                target_proc, win_buf, target_dt, target_count, total, op,
-            )
-        else:
-            yield from self._inter_node(
-                proc, origin_buf, origin_dt, origin_count,
-                target_proc, win_buf, target_dt, target_count, total, op,
-            )
-        return total
 
-    def _intra_node(
-        self, proc, origin_buf, origin_dt, origin_count,
-        target_proc, win_buf, target_dt, target_count, total, op,
-    ):
-        """Origin-driven scatter/gather through the mapped window."""
-        mapped = win_buf
-        if win_buf.is_device and win_buf.device is not proc.gpu:
-            handle = IpcMemHandle.get(win_buf)
-            mapped = yield handle.open(proc.gpu, proc.ipc_cache)
+def one_sided_move(
+    proc, origin_buf, origin_dt, origin_count,
+    target_proc, target_buf, target_dt, target_count, op,
+):
+    """Coroutine: one origin-driven transfer into/out of ``target_buf``.
 
-        both_device = origin_buf.is_device and win_buf.is_device
-        if both_device:
-            engine = proc.engine
-            stage = proc.acquire_staging("device", max(total, 256))
-            try:
-                if op == "put":
-                    pj = engine.pack_job(origin_dt, origin_count, origin_buf,
-                                         proc.config.engine)
-                    yield from pj.process_all(stage[:total])
-                    uj = engine.unpack_job(target_dt, target_count, mapped,
-                                           proc.config.engine)
-                    yield from uj.process_all(stage[:total])
-                else:
-                    pj = engine.pack_job(target_dt, target_count, mapped,
-                                         proc.config.engine)
-                    yield from pj.process_all(stage[:total])
-                    uj = engine.unpack_job(origin_dt, origin_count, origin_buf,
-                                           proc.config.engine)
-                    yield from uj.process_all(stage[:total])
-            finally:
-                proc.release_staging("device", stage)
-            return
+    The shared engine room of :class:`RmaWindow` and the direct-IPC
+    collective algorithms (:mod:`repro.mpi.collectives`).  ``op`` is
+    ``"put"`` (origin layout packed, scattered into the target buffer as
+    ``target_dt``) or ``"get"`` (the reverse); signatures must match as
+    for sends.  Same-node transfers run origin-driven kernels over the
+    mapped (IPC-opened) buffer; inter-node transfers stage through host
+    memory and charge the target node's passive hardware — no target
+    coroutine either way.  Returns the packed byte count.
+    """
+    from repro.mpi.pml import _signature_check, _times
 
-        # host-involved windows: the origin CPU drives both transforms
-        import numpy as np
+    origin_dt.commit()
+    target_dt.commit()
+    if op == "put":
+        _signature_check(
+            _times(origin_dt.signature, origin_count),
+            _times(target_dt.signature, target_count),
+        )
+    else:
+        _signature_check(
+            _times(target_dt.signature, target_count),
+            _times(origin_dt.signature, origin_count),
+        )
+    total = min(origin_dt.size * origin_count,
+                target_dt.size * target_count)
+    if total == 0:
+        return 0
+    if proc.node is target_proc.node:
+        yield from _intra_node_move(
+            proc, origin_buf, origin_dt, origin_count,
+            target_proc, target_buf, target_dt, target_count, total, op,
+        )
+    else:
+        yield from _inter_node_move(
+            proc, origin_buf, origin_dt, origin_count,
+            target_proc, target_buf, target_dt, target_count, total, op,
+        )
+    return total
 
-        stage = np.empty(total, dtype=np.uint8)
-        if op == "put":
-            src = CpuSideJob(proc, origin_dt, origin_count, origin_buf, "pack")
-            dst = CpuSideJob(proc, target_dt, target_count, mapped, "unpack")
-        else:
-            src = CpuSideJob(proc, target_dt, target_count, mapped, "pack")
-            dst = CpuSideJob(proc, origin_dt, origin_count, origin_buf, "unpack")
-        yield src.process_range(0, total, stage)
-        yield proc.node.shmem_link.transfer(total, label="rma-shmem")
-        yield dst.process_range(0, total, stage)
 
-    def _inter_node(
-        self, proc, origin_buf, origin_dt, origin_count,
-        target_proc, win_buf, target_dt, target_count, total, op,
-    ):
-        """Host-staged one-sided transfer; target hardware acts passively."""
-        import numpy as np
+def _intra_node_move(
+    proc, origin_buf, origin_dt, origin_count,
+    target_proc, win_buf, target_dt, target_count, total, op,
+):
+    """Origin-driven scatter/gather through the mapped window."""
+    mapped = win_buf
+    if win_buf.is_device and win_buf.device is not proc.gpu:
+        handle = IpcMemHandle.get(win_buf)
+        mapped = yield handle.open(proc.gpu, proc.ipc_cache)
 
-        stage = np.empty(total, dtype=np.uint8)
-        origin_is_put = op == "put"
-        # 1. origin-side transform into/out of the wire buffer
-        if origin_is_put:
-            if origin_buf.is_device:
-                hstage = proc.acquire_staging(
-                    "host", max(total, 256), zero_copy_map=True
-                )
-                pj = proc.engine.pack_job(origin_dt, origin_count, origin_buf,
-                                          proc.config.engine)
-                yield from pj.process_all(hstage[:total])
-                stage[:] = hstage.bytes[:total]
-                proc.release_staging("host", hstage, zero_copy_map=True)
+    both_device = origin_buf.is_device and win_buf.is_device
+    if both_device:
+        engine = proc.engine
+        stage = proc.acquire_staging("device", max(total, 256))
+        try:
+            if op == "put":
+                pj = engine.pack_job(origin_dt, origin_count, origin_buf,
+                                     proc.config.engine)
+                yield from pj.process_all(stage[:total])
+                uj = engine.unpack_job(target_dt, target_count, mapped,
+                                       proc.config.engine)
+                yield from uj.process_all(stage[:total])
             else:
-                job = CpuSideJob(proc, origin_dt, origin_count, origin_buf, "pack")
-                yield job.process_range(0, total, stage)
-            # 2. the wire
-            yield proc.node.nic.send(
-                target_proc.node.name, total, label="rma-put"
+                pj = engine.pack_job(target_dt, target_count, mapped,
+                                     proc.config.engine)
+                yield from pj.process_all(stage[:total])
+                uj = engine.unpack_job(origin_dt, origin_count, origin_buf,
+                                       proc.config.engine)
+                yield from uj.process_all(stage[:total])
+        finally:
+            proc.release_staging("device", stage)
+        return
+
+    # host-involved windows: the origin CPU drives both transforms
+    import numpy as np
+
+    stage = np.empty(total, dtype=np.uint8)
+    if op == "put":
+        src = CpuSideJob(proc, origin_dt, origin_count, origin_buf, "pack")
+        dst = CpuSideJob(proc, target_dt, target_count, mapped, "unpack")
+    else:
+        src = CpuSideJob(proc, target_dt, target_count, mapped, "pack")
+        dst = CpuSideJob(proc, origin_dt, origin_count, origin_buf, "unpack")
+    yield src.process_range(0, total, stage)
+    yield proc.node.shmem_link.transfer(total, label="rma-shmem")
+    yield dst.process_range(0, total, stage)
+
+
+def _inter_node_move(
+    proc, origin_buf, origin_dt, origin_count,
+    target_proc, win_buf, target_dt, target_count, total, op,
+):
+    """Host-staged one-sided transfer; target hardware acts passively."""
+    import numpy as np
+
+    stage = np.empty(total, dtype=np.uint8)
+    origin_is_put = op == "put"
+    # 1. origin-side transform into/out of the wire buffer
+    if origin_is_put:
+        if origin_buf.is_device:
+            hstage = proc.acquire_staging(
+                "host", max(total, 256), zero_copy_map=True
             )
-            # 3. passive completion at the target: its PCIe/memory moves
-            yield from _passive_scatter(
-                target_proc, win_buf, target_dt, target_count, stage, total
-            )
+            pj = proc.engine.pack_job(origin_dt, origin_count, origin_buf,
+                                      proc.config.engine)
+            yield from pj.process_all(hstage[:total])
+            stage[:] = hstage.bytes[:total]
+            proc.release_staging("host", hstage, zero_copy_map=True)
         else:
-            # get: request flight, passive gather at the target, data back
-            yield proc.node.nic.send(target_proc.node.name, 64, label="rma-get-req")
-            yield from _passive_gather(
-                target_proc, win_buf, target_dt, target_count, stage, total
+            job = CpuSideJob(proc, origin_dt, origin_count, origin_buf, "pack")
+            yield job.process_range(0, total, stage)
+        # 2. the wire
+        yield proc.node.nic.send(
+            target_proc.node.name, total, label="rma-put"
+        )
+        # 3. passive completion at the target: its PCIe/memory moves
+        yield from _passive_scatter(
+            target_proc, win_buf, target_dt, target_count, stage, total
+        )
+    else:
+        # get: request flight, passive gather at the target, data back
+        yield proc.node.nic.send(target_proc.node.name, 64, label="rma-get-req")
+        yield from _passive_gather(
+            target_proc, win_buf, target_dt, target_count, stage, total
+        )
+        yield target_proc.node.nic.send(
+            proc.node.name, total, label="rma-get-data"
+        )
+        if origin_buf.is_device:
+            hstage = proc.acquire_staging(
+                "host", max(total, 256), zero_copy_map=True
             )
-            yield target_proc.node.nic.send(
-                proc.node.name, total, label="rma-get-data"
-            )
-            if origin_buf.is_device:
-                hstage = proc.acquire_staging(
-                    "host", max(total, 256), zero_copy_map=True
-                )
-                hstage.bytes[:total] = stage
-                uj = proc.engine.unpack_job(origin_dt, origin_count, origin_buf,
-                                            proc.config.engine)
-                yield from uj.process_all(hstage[:total])
-                proc.release_staging("host", hstage, zero_copy_map=True)
-            else:
-                job = CpuSideJob(proc, origin_dt, origin_count, origin_buf,
-                                 "unpack")
-                yield job.process_range(0, total, stage)
-
-
-def _times(sig, count: int):
-    if count == 1:
-        return sig
-    return tuple((n, c * count) for n, c in sig) if len(sig) == 1 else sig * count
+            hstage.bytes[:total] = stage
+            uj = proc.engine.unpack_job(origin_dt, origin_count, origin_buf,
+                                        proc.config.engine)
+            yield from uj.process_all(hstage[:total])
+            proc.release_staging("host", hstage, zero_copy_map=True)
+        else:
+            job = CpuSideJob(proc, origin_dt, origin_count, origin_buf,
+                             "unpack")
+            yield job.process_range(0, total, stage)
 
 
 def _passive_scatter(target_proc, win_buf, dt, count, stage, total):

@@ -29,6 +29,7 @@ from repro.mpi.proc import MpiProcess
 from repro.mpi.requests import Request
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.stats import WorldStats, classify_resource
+from repro.sanitize import runtime as _san
 from repro.sim.core import Future, Process, all_of, any_of
 
 __all__ = ["MpiWorld", "RankContext"]
@@ -46,6 +47,18 @@ class MpiWorld:
         self.cluster = cluster
         self.sim = cluster.sim
         self.config = config or MpiConfig()
+        #: rank -> (node index, gpu index or None); the node-locality
+        #: queries below (and the hierarchical collectives built on
+        #: them) read this, so the world keeps its placement map
+        self.placements: tuple[tuple[int, Optional[int]], ...] = tuple(
+            (n, g) for n, g in placements
+        )
+        self._node_ranks: dict[int, list[int]] = {}
+        for rank, (node_i, _gpu_i) in enumerate(self.placements):
+            self._node_ranks.setdefault(node_i, []).append(rank)
+        #: scratch tables collectives use to exchange per-call metadata
+        #: out-of-band (keyed by (op, seq); see repro.mpi.collectives)
+        self._coll_rendezvous: dict = {}
         self.bml = Bml()
         #: world-wide metrics store; ranks get ``r<rank>.``-scoped views
         self.metrics = MetricsRegistry()
@@ -80,6 +93,7 @@ class MpiWorld:
             self.procs.append(proc)
         self._barrier_waiters: list[Future] = []
         self._barrier_arrived = 0
+        self._barrier_snap: Optional[dict] = None
         #: MPI_COMM_WORLD
         self.comm_world = Communicator(self, comm_id=0)
 
@@ -90,6 +104,19 @@ class MpiWorld:
     def context(self, rank: int) -> "RankContext":
         """The :class:`RankContext` API handle for one rank."""
         return RankContext(self, self.procs[rank])
+
+    # -- node locality ---------------------------------------------------------
+    def node_index(self, rank: int) -> int:
+        """The cluster node index ``rank`` is placed on."""
+        return self.placements[rank][0]
+
+    def ranks_on_node(self, node_i: int) -> list[int]:
+        """All ranks placed on node ``node_i``, in rank order."""
+        return list(self._node_ranks.get(node_i, ()))
+
+    def node_leader(self, rank: int) -> int:
+        """The lowest rank on ``rank``'s node (the hierarchical leader)."""
+        return self._node_ranks[self.node_index(rank)][0]
 
     # -- running programs ------------------------------------------------------
     def run(
@@ -164,9 +191,23 @@ class MpiWorld:
         fut = Future(self.sim, label="barrier")
         self._barrier_waiters.append(fut)
         self._barrier_arrived += 1
+        if _san.RACE is not None:
+            # a barrier is an all-to-all happens-before edge: every rank's
+            # pre-barrier work precedes every rank's post-barrier work.
+            # Accumulate the join of all arrivals' clocks and pre-stamp it
+            # on every waiter, so the release below hands each resumed rank
+            # the merged view rather than only the last arrival's clock.
+            self._barrier_snap = _san.RACE.merge(
+                self._barrier_snap, _san.RACE.snapshot()
+            )
         if self._barrier_arrived == self.size:
             waiters, self._barrier_waiters = self._barrier_waiters, []
             self._barrier_arrived = 0
+            if _san.RACE is not None:
+                snap = self._barrier_snap
+                self._barrier_snap = None
+                for w in waiters:
+                    w._san_snap = _san.RACE.merge(w._san_snap, snap)
             for w in waiters:
                 w.resolve(None)
         return fut
@@ -185,6 +226,27 @@ class RankContext:
         self.cuda = proc.ctx
         self.sim = proc.sim
         self.config = proc.config
+
+    # -- node locality ---------------------------------------------------------
+    @property
+    def node_index(self) -> int:
+        """Cluster node index this rank is placed on."""
+        return self.world.node_index(self.rank)
+
+    @property
+    def node_ranks(self) -> list[int]:
+        """All ranks sharing this rank's node, in rank order."""
+        return self.world.ranks_on_node(self.node_index)
+
+    @property
+    def node_leader(self) -> int:
+        """Lowest rank on this node (hierarchical-collective leader)."""
+        return self.world.node_leader(self.rank)
+
+    @property
+    def is_node_leader(self) -> bool:
+        """True when this rank is its node's leader."""
+        return self.node_leader == self.rank
 
     # -- memory helpers ------------------------------------------------------
     def device_alloc(self, nbytes: int, label: str = "") -> Buffer:

@@ -261,6 +261,22 @@ class WorldStats:
             if k.startswith("faults.")
         }
 
+    @property
+    def coll_ops(self) -> dict:
+        """Collective calls per ``<op>.<algorithm>``, summed over ranks.
+
+        Aggregates the per-rank ``r<k>.coll.<op>.<algo>`` counters the
+        collectives module bumps on every call (byte totals appear as
+        ``<op>.bytes``); empty when no collectives ran.
+        """
+        out: dict[str, int] = {}
+        for k, v in self.metrics.items():
+            _rank, dot, rest = k.partition(".")
+            if dot and rest.startswith("coll.") and _rank.startswith("r"):
+                name = rest[len("coll."):]
+                out[name] = out.get(name, 0) + v
+        return out
+
     def busy_by_stage(self) -> dict:
         """Busy time aggregated by :func:`classify_resource` stage."""
         out: dict[str, float] = {}
@@ -295,6 +311,7 @@ class WorldStats:
             "dup_drops": self.dup_drops,
             "fallbacks": self.fallbacks,
             "faults_injected": self.faults_injected,
+            "coll_ops": self.coll_ops,
             "metrics": dict(self.metrics),
         }
 
@@ -313,6 +330,9 @@ class WorldStats:
             f"overlap {self.pack_wire_overlap_fraction:.2f}",
             f"credit wait {self.credit_wait_s * 1e6:.1f}us",
         ]
+        colls = self.coll_ops
+        if colls:
+            lines.append(f"collectives: {dict(sorted(colls.items()))}")
         faults = self.faults_injected
         if faults or self.retransmits or self.dup_drops or self.fallbacks:
             lines.append(

@@ -8,15 +8,27 @@ import pytest
 from repro.datatype.convertor import pack_bytes
 from repro.datatype.ddt import contiguous
 from repro.datatype.primitives import DOUBLE
+from repro.faults.plan import FaultSpec
 from repro.hw.node import Cluster
-from repro.mpi.collectives import allgather, bcast, gather
+from repro.mpi.collectives import (
+    _COLL_OP_INDEX,
+    _COLL_OP_SPAN,
+    _COLL_TAG_BASE,
+    CollAlgorithm,
+    allgather,
+    alltoall,
+    bcast,
+    gather,
+    _op_tag,
+)
+from repro.mpi.config import MpiConfig
 from repro.mpi.world import MpiWorld
 from repro.workloads.matrices import lower_triangular_type
 
 
-def gpu_world(n_ranks: int) -> MpiWorld:
+def gpu_world(n_ranks: int, config: MpiConfig | None = None) -> MpiWorld:
     cluster = Cluster(1, n_ranks)
-    return MpiWorld(cluster, [(0, g) for g in range(n_ranks)])
+    return MpiWorld(cluster, [(0, g) for g in range(n_ranks)], config)
 
 
 class TestBcast:
@@ -53,14 +65,16 @@ class TestBcast:
         for r in range(3):
             assert np.array_equal(bufs[r].bytes, bufs[2].bytes)
 
-    def test_single_rank_noop(self):
+    def test_single_rank_returns_bytes_moved(self):
+        """World size 1 honours the 'bytes moved per rank' contract —
+        the old early-return of 0 forced bench sweeps to special-case."""
         world = gpu_world(1)
         dt = contiguous(8, DOUBLE).commit()
         buf = world.procs[0].ctx.malloc(256)
 
         def program(mpi):
             got = yield from bcast(mpi, buf, dt, 1)
-            assert got == 0
+            assert got == dt.size
 
         world.run([program])
 
@@ -123,6 +137,128 @@ class TestGather:
             )
 
 
+class TestTagSpaces:
+    """Regression coverage for the per-op disjoint tag sub-spaces."""
+
+    def test_same_seq_different_ops_never_collide(self):
+        """The original bug: bcast seq k == gather seq k tag-wise."""
+        for k in range(256):
+            assert _op_tag("bcast", k) != _op_tag("gather", k)
+
+    def test_all_op_subspaces_disjoint(self):
+        seen: dict[int, tuple] = {}
+        for op in _COLL_OP_INDEX:
+            for seq in (0, 1, 7, 1000, (1 << 15) - 1):
+                for phase in range(4):
+                    tag = _op_tag(op, seq, phase)
+                    lo = _COLL_TAG_BASE + _COLL_OP_INDEX[op] * _COLL_OP_SPAN
+                    assert lo <= tag < lo + _COLL_OP_SPAN
+                    assert tag not in seen, (op, seq, phase, seen[tag])
+                    seen[tag] = (op, seq, phase)
+
+    def test_interleaved_collective_types(self, rng):
+        """Two different collectives back-to-back under AM delays.
+
+        With the old shared tag arithmetic, bcast seq k and allgather
+        seq k messages between the same pair could cross-match when
+        injection reordered deliveries; disjoint sub-spaces make the
+        match unambiguous.  Verify byte-exact results end to end.
+        """
+        n_ranks = 3
+        world = gpu_world(
+            n_ranks,
+            MpiConfig(
+                faults=FaultSpec(seed=11, am_delay=0.5, am_delay_s=300e-6)
+            ),
+        )
+        dt = contiguous(64, DOUBLE).commit()
+        bbufs = [world.procs[r].ctx.malloc(dt.size) for r in range(n_ranks)]
+        bbufs[0].write(rng.random(64))
+        sendbufs = [world.procs[r].ctx.malloc(dt.size) for r in range(n_ranks)]
+        for i, b in enumerate(sendbufs):
+            b.write(np.full(64, float(i + 10)))
+        recv = [
+            [world.procs[r].ctx.malloc(dt.size) for _ in range(n_ranks)]
+            for r in range(n_ranks)
+        ]
+
+        def program(rank):
+            def run(mpi):
+                yield from bcast(mpi, bbufs[rank], dt, 1, root=0)
+                yield from allgather(
+                    mpi, sendbufs[rank], dt, 1, recv[rank], dt, 1
+                )
+                yield from bcast(mpi, bbufs[rank], dt, 1, root=1)
+            return run
+
+        world.run({r: program(r) for r in range(n_ranks)})
+        for r in range(1, n_ranks):
+            assert np.array_equal(bbufs[r].bytes, bbufs[0].bytes)
+        for r in range(n_ranks):
+            for src in range(n_ranks):
+                assert (recv[r][src].view("f8") == float(src + 10)).all()
+
+
+class TestGatherValidation:
+    """The root must pass a real receive spec — no silent zero-gather."""
+
+    def _run_bad_gather(self, **kw):
+        world = gpu_world(2)
+        dt = contiguous(8, DOUBLE).commit()
+        sendbufs = [world.procs[r].ctx.malloc(dt.size) for r in range(2)]
+        for b in sendbufs:
+            b.fill(1)
+        recvbufs = [world.procs[0].ctx.malloc(dt.size) for _ in range(2)]
+        args = dict(recvbufs=recvbufs, recv_dt=dt, recv_count=1)
+        args.update(kw)
+
+        def program(rank):
+            def run(mpi):
+                yield from gather(
+                    mpi, sendbufs[rank], dt, 1,
+                    args["recvbufs"] if rank == 0 else None,
+                    args["recv_dt"] if rank == 0 else None,
+                    args["recv_count"], root=0,
+                )
+            return run
+
+        world.run({r: program(r) for r in range(2)})
+
+    def test_missing_recv_count_rejected(self):
+        with pytest.raises(ValueError, match="recv_count must be a positive"):
+            self._run_bad_gather(recv_count=None)
+
+    def test_zero_recv_count_rejected(self):
+        """The old default of 0 silently received nothing into every slot."""
+        with pytest.raises(ValueError, match="recv_count must be a positive"):
+            self._run_bad_gather(recv_count=0)
+
+    def test_missing_recvbufs_rejected(self):
+        with pytest.raises(ValueError, match="must pass recvbufs"):
+            self._run_bad_gather(recvbufs=None)
+
+    def test_short_recvbufs_rejected(self):
+        world = gpu_world(3)
+        dt = contiguous(8, DOUBLE).commit()
+        sendbufs = [world.procs[r].ctx.malloc(dt.size) for r in range(3)]
+        for b in sendbufs:
+            b.fill(1)
+        recvbufs = [world.procs[0].ctx.malloc(dt.size) for _ in range(2)]
+
+        def program(rank):
+            def run(mpi):
+                yield from gather(
+                    mpi, sendbufs[rank], dt, 1,
+                    recvbufs if rank == 0 else None,
+                    dt if rank == 0 else None,
+                    1, root=0,
+                )
+            return run
+
+        with pytest.raises(ValueError, match="one recv buffer per rank"):
+            world.run({r: program(r) for r in range(3)})
+
+
 class TestAllgather:
     def test_ring_allgather(self, rng):
         n_ranks = 4
@@ -149,3 +285,106 @@ class TestAllgather:
                 assert (recv[r][src].view("f8") == float(src + 1)).all(), (
                     f"rank {r} block {src}"
                 )
+
+
+def two_node_world(config: MpiConfig | None = None) -> MpiWorld:
+    """4 ranks over 2 nodes x 2 GPUs — exercises intra- and inter-node."""
+    cluster = Cluster(2, 2)
+    placements = [(n, g) for n in range(2) for g in range(2)]
+    return MpiWorld(cluster, placements, config)
+
+
+class TestAlltoall:
+    """alltoall across every rung of the algorithm ladder."""
+
+    @pytest.mark.parametrize("algo", list(CollAlgorithm))
+    def test_all_algorithms_byte_identical(self, algo):
+        world = two_node_world()
+        size = 4
+        count = 32
+        dt = contiguous(count, DOUBLE).commit()
+        sendbufs = [
+            [world.procs[r].ctx.malloc(dt.size) for _ in range(size)]
+            for r in range(size)
+        ]
+        for r in range(size):
+            for d in range(size):
+                sendbufs[r][d].write(np.full(count, float(r * 10 + d)))
+        recvbufs = [
+            [world.procs[r].ctx.malloc(dt.size) for _ in range(size)]
+            for r in range(size)
+        ]
+
+        def program(rank):
+            def run(mpi):
+                moved = yield from alltoall(
+                    mpi, sendbufs[rank], dt, 1, recvbufs[rank], dt, 1,
+                    algorithm=algo,
+                )
+                assert moved == dt.size * size
+            return run
+
+        world.run({r: program(r) for r in range(size)})
+        for r in range(size):
+            for src in range(size):
+                assert (recvbufs[r][src].view("f8") == float(src * 10 + r)).all(), (
+                    f"algo {algo.value}: rank {r} block from {src}"
+                )
+
+    def test_config_knob_selects_algorithm(self):
+        """MpiConfig.coll_algorithm drives selection; counters record it."""
+        world = two_node_world(MpiConfig(coll_algorithm="staged"))
+        size = 4
+        dt = contiguous(16, DOUBLE).commit()
+        sendbufs = [
+            [world.procs[r].ctx.malloc(dt.size) for _ in range(size)]
+            for r in range(size)
+        ]
+        recvbufs = [
+            [world.procs[r].ctx.malloc(dt.size) for _ in range(size)]
+            for r in range(size)
+        ]
+        for r in range(size):
+            for d in range(size):
+                sendbufs[r][d].fill(r + 1)
+
+        def program(rank):
+            def run(mpi):
+                yield from alltoall(
+                    mpi, sendbufs[rank], dt, 1, recvbufs[rank], dt, 1
+                )
+            return run
+
+        world.run({r: program(r) for r in range(size)})
+        assert world.stats().coll_ops.get("alltoall.staged") == size
+
+    def test_hierarchical_rejected_for_bcast(self):
+        world = gpu_world(2)
+        dt = contiguous(8, DOUBLE).commit()
+        bufs = [world.procs[r].ctx.malloc(dt.size) for r in range(2)]
+        bufs[0].fill(3)
+
+        def program(rank):
+            def run(mpi):
+                yield from bcast(
+                    mpi, bufs[rank], dt, 1,
+                    algorithm=CollAlgorithm.HIERARCHICAL,
+                )
+            return run
+
+        with pytest.raises(ValueError, match="alltoall"):
+            world.run({r: program(r) for r in range(2)})
+
+    def test_unknown_algorithm_rejected(self):
+        world = gpu_world(2)
+        dt = contiguous(8, DOUBLE).commit()
+        bufs = [world.procs[r].ctx.malloc(dt.size) for r in range(2)]
+        bufs[0].fill(3)
+
+        def program(rank):
+            def run(mpi):
+                yield from bcast(mpi, bufs[rank], dt, 1, algorithm="quantum")
+            return run
+
+        with pytest.raises(ValueError, match="unknown collective algorithm"):
+            world.run({r: program(r) for r in range(2)})

@@ -28,6 +28,9 @@ def test_but_keeps_validation():
         dict(pipeline_depth=0),
         dict(eager_limit=-1),
         dict(rdma_mode="push"),
+        dict(coll_algorithm="bruck"),
+        dict(coll_algorithm=""),
+        dict(coll_staged_threshold=-1),
     ],
     ids=lambda kw: next(iter(kw.items()))[0] + "=" + str(next(iter(kw.values()))),
 )
@@ -54,3 +57,11 @@ def test_bad_retry_policy_rejected(kw):
 def test_retry_policy_defaults_valid():
     rp = RetryPolicy()
     assert rp.rto > 0 and rp.backoff >= 1.0 and rp.max_retries >= 0
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["auto", "pairwise", "nonblocking", "staged", "direct", "hierarchical"],
+)
+def test_every_ladder_rung_accepted(name):
+    assert MpiConfig(coll_algorithm=name).coll_algorithm == name

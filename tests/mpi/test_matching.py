@@ -80,3 +80,59 @@ class TestMatching:
         arrive(eng, source=2, tag=1, what="newer")
         fut = post(eng, sim, source=ANY_SOURCE, tag=1)
         assert fut.value == "older"
+
+
+def arrive_seq(engine, pair_seq, source=0, tag=0, comm=0, what="msg"):
+    """An arrival stamped with a sender post-order pair_seq."""
+    env = Envelope(
+        source=source, dest=1, tag=tag, comm_id=comm, pair_seq=pair_seq
+    )
+    return engine.arrive(env, what)
+
+
+class TestNonOvertakingResequencing:
+    """Out-of-order wire arrivals must still match in send order.
+
+    A small eager message posted second can finish packing — and hit the
+    wire — before a big one posted first; fault-injected delays reorder
+    too.  The pair_seq stamp lets the matcher hold the overtaker back."""
+
+    def test_overtaking_arrival_held_until_gap_closes(self, sim):
+        eng = MatchingEngine()
+        a = post(eng, sim, source=0, tag=4)
+        b = post(eng, sim, source=0, tag=4)
+        arrive_seq(eng, 1, source=0, tag=4, what="second-posted")
+        assert not a.done and not b.done  # held: seq 0 still in flight
+        arrive_seq(eng, 0, source=0, tag=4, what="first-posted")
+        assert a.value == "first-posted" and b.value == "second-posted"
+
+    def test_resequenced_into_unexpected_queue(self, sim):
+        eng = MatchingEngine()
+        arrive_seq(eng, 1, source=0, tag=4, what="second")
+        assert eng.unexpected_count == 0  # held, not yet visible
+        arrive_seq(eng, 0, source=0, tag=4, what="first")
+        assert eng.unexpected_count == 2
+        a = post(eng, sim, source=0, tag=4)
+        b = post(eng, sim, source=0, tag=4)
+        assert a.value == "first" and b.value == "second"
+
+    def test_different_sizes_different_tags_still_ordered(self, sim):
+        eng = MatchingEngine()
+        a = post(eng, sim, source=0, tag=1)
+        b = post(eng, sim, source=0, tag=2)
+        arrive_seq(eng, 1, source=0, tag=2, what="t2")
+        arrive_seq(eng, 0, source=0, tag=1, what="t1")
+        assert a.value == "t1" and b.value == "t2"
+
+    def test_sources_resequence_independently(self, sim):
+        eng = MatchingEngine()
+        a = post(eng, sim, source=ANY_SOURCE, tag=4)
+        arrive_seq(eng, 1, source=7, tag=4, what="late-from-7")
+        arrive_seq(eng, 0, source=3, tag=4, what="from-3")
+        assert a.value == "from-3"
+
+    def test_unstamped_envelopes_bypass_resequencing(self, sim):
+        eng = MatchingEngine()
+        fut = post(eng, sim, source=0, tag=4)
+        arrive(eng, source=0, tag=4, what="legacy")  # pair_seq=-1
+        assert fut.value == "legacy"
