@@ -29,11 +29,6 @@ from repro.mpi.proc import MpiProcess
 
 __all__ = ["whole_region_pack", "per_block_d2h_pack", "per_block_d2d_transfer"]
 
-#: issuing more small copies than this per message is modeled batched in
-#: groups to keep the simulator's Python overhead bounded; the *time*
-#: charged is identical (k copies = k overheads + bytes/bw on one FIFO)
-_BATCH = 4096
-
 
 def whole_region_pack(
     proc: MpiProcess, dt: Datatype, count: int, src: Buffer, host_out: Buffer
@@ -65,40 +60,31 @@ def whole_region_pack(
 def per_block_d2h_pack(
     proc: MpiProcess, dt: Datatype, count: int, src: Buffer, host_out: Buffer
 ):
-    """Fig 1(b): one cudaMemcpy D2H per contiguous block."""
+    """Fig 1(b): one cudaMemcpy D2H per contiguous block.
+
+    The k driver calls serialize on the PCIe FIFO — k per-op overheads
+    plus the payload bytes — and the caller only needs the batch as a
+    whole, so the whole block list goes through one
+    :meth:`~repro.sim.resources.FifoLink.transfer_many`: per-block
+    busy-time accounting, but a single future and delivery event.
+    """
     gpu = proc.gpu
     spans = dt.spans_for_count(count)
     link = gpu.d2h_link
-    n = spans.count
     disps, lens = spans.disps, spans.lens
-    out_off = 0
-    last = None
-    done = 0
-    while done < n:
-        batch = slice(done, min(done + _BATCH, n))
-        b_disps = disps[batch]
-        b_lens = lens[batch]
-        nbytes = int(b_lens.sum())
-        k = len(b_lens)
-        # k driver calls: k per-op overheads + the payload, FIFO on PCIe
-        extra = link.overhead * (k - 1)
-        off0 = out_off
+    if spans.count:
 
-        def move(b_disps=b_disps, b_lens=b_lens, off0=off0) -> None:
-            pos = off0
+        def move(_f) -> None:
+            pos = 0
             sb = src.bytes
             ob = host_out.bytes
-            for d, l in zip(b_disps.tolist(), b_lens.tolist()):
+            for d, l in zip(disps.tolist(), lens.tolist()):
                 ob[pos : pos + l] = sb[d : d + l]
                 pos += l
 
-        fut = link.transfer(nbytes, label="per-block-d2h", extra_overhead=extra)
-        fut.add_callback(lambda _f, mv=move: mv())
-        last = fut
-        out_off += nbytes
-        done += k
-    if last is not None:
-        yield last
+        fut = link.transfer_many(lens.tolist(), label="per-block-d2h")
+        fut.add_callback(move)
+        yield fut
     return spans.count
 
 
@@ -120,26 +106,18 @@ def per_block_d2d_transfer(
         link = gpu.p2p_links[peer_gpu.name]
         call_oh = 0.0  # the P2P link's own per-op overhead applies
     disps, lens = spans.disps, spans.lens
-    n = spans.count
-    last = None
-    done = 0
-    while done < n:
-        batch = slice(done, min(done + _BATCH, n))
-        b_disps = disps[batch]
-        b_lens = lens[batch]
-        k = len(b_lens)
-        nbytes = int(b_lens.sum())
-        extra = (link.overhead + call_oh) * (k - 1) + call_oh
+    if spans.count:
 
-        def move(b_disps=b_disps, b_lens=b_lens) -> None:
+        def move(_f) -> None:
             sb, db = src.bytes, dst.bytes
-            for d, l in zip(b_disps.tolist(), b_lens.tolist()):
+            for d, l in zip(disps.tolist(), lens.tolist()):
                 db[d : d + l] = sb[d : d + l]
 
-        fut = link.transfer(nbytes, label="per-block-d2d", extra_overhead=extra)
-        fut.add_callback(lambda _f, mv=move: mv())
-        last = fut
-        done += k
-    if last is not None:
-        yield last
+        # each copy pays the engine's per-op overhead plus the memcpy
+        # call cost; transfer_many charges both once per block
+        fut = link.transfer_many(
+            lens.tolist(), label="per-block-d2d", extra_overhead=call_oh
+        )
+        fut.add_callback(move)
+        yield fut
     return spans.count

@@ -11,6 +11,9 @@ Usage::
     python -m repro.bench --suite --quick --update-baseline
     python -m repro.bench --list-scenarios
 
+    # cProfile one suite scenario (writes a sorted-by-cumtime report)
+    python -m repro.bench --profile world_scale --quick
+
 For the full per-figure sweeps with assertions, run
 ``pytest benchmarks/ --benchmark-only -s`` instead.
 """
@@ -61,11 +64,69 @@ def run_suite_cli(parser: argparse.ArgumentParser, args) -> int:
         print(f"suite: wrote {trace}")
 
     if args.update_baseline:
-        write_suite_json(doc, BASELINE_PATH)
+        out = dict(doc)
+        try:
+            prev = regress.load_baseline(BASELINE_PATH)
+        except (OSError, ValueError):
+            prev = {}
+        # hand-tuned per-metric tolerances survive a refresh — they
+        # encode review decisions, not measurements
+        if prev.get("tolerances"):
+            out["tolerances"] = prev["tolerances"]
+        write_suite_json(out, BASELINE_PATH)
         print(f"suite: updated {BASELINE_PATH}")
 
     if args.check:
         return regress.run_check(doc, args.check)
+    return 0
+
+
+def run_profile_cli(parser: argparse.ArgumentParser, args) -> int:
+    """Handle ``--profile <scenario>`` without ``--suite``: cProfile it.
+
+    Runs one registered suite scenario under :mod:`cProfile` and writes
+    a sorted-by-cumulative-time report (the artifact CI uploads next to
+    the ``BENCH_*.json``), echoing the hottest frames to stdout.
+    """
+    import cProfile
+    import io
+    import pstats
+    import time
+
+    from repro.bench import profiles
+    from repro.bench.scenarios import SCENARIOS
+
+    name = args.profile
+    if name not in SCENARIOS:
+        parser.error(
+            f"--profile without --suite expects a scenario name; "
+            f"unknown scenario {name!r} (known: {', '.join(SCENARIOS)})"
+        )
+    size = profiles.QUICK if args.quick else profiles.current()
+    prof = cProfile.Profile()
+    t0 = time.perf_counter()
+    prof.enable()
+    metrics = SCENARIOS[name](size)
+    prof.disable()
+    wall = time.perf_counter() - t0
+
+    buf = io.StringIO()
+    stats = pstats.Stats(prof, stream=buf)
+    stats.sort_stats("cumulative").print_stats(60)
+    header = (
+        f"# cProfile: scenario={name} profile={size.name} "
+        f"wall={wall:.2f}s metrics={len(metrics)}\n"
+    )
+    path = args.profile_out or f"PROFILE_{name}.txt"
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as fh:
+        fh.write(header)
+        fh.write(buf.getvalue())
+    print(header, end="")
+    print("\n".join(buf.getvalue().splitlines()[:25]))
+    print(f"profile: wrote {path}")
     return 0
 
 
@@ -99,7 +160,16 @@ def main(argv=None) -> int:
         metavar="NAME",
         default=None,
         help="with --suite: explicit profile name (full|quick); "
-        "default comes from REPRO_BENCH_PROFILE, else full",
+        "default comes from REPRO_BENCH_PROFILE, else full. "
+        "Without --suite: cProfile the named suite *scenario* and "
+        "write a sorted-by-cumtime report (see --profile-out)",
+    )
+    parser.add_argument(
+        "--profile-out",
+        metavar="PATH",
+        default=None,
+        help="with --profile <scenario> (no --suite): where to write "
+        "the cProfile report (default: PROFILE_<scenario>.txt)",
     )
     parser.add_argument(
         "--scenario",
@@ -204,9 +274,13 @@ def main(argv=None) -> int:
 
     if args.suite:
         return run_suite_cli(parser, args)
-    for flag in ("quick", "profile", "scenario", "json", "label", "check"):
+    if args.profile:
+        return run_profile_cli(parser, args)
+    for flag in ("quick", "scenario", "json", "label", "check"):
         if getattr(args, flag):
             parser.error(f"--{flag.replace('_', '-')} requires --suite")
+    if args.profile_out:
+        parser.error("--profile-out requires --profile <scenario>")
     if args.update_baseline:
         parser.error("--update-baseline requires --suite")
 

@@ -7,6 +7,13 @@ Tolerance policy (see ``docs/BENCHMARKS.md``):
   an algorithm changed.  They are held to a tight relative tolerance in
   *both* directions — an unexplained speedup is as suspicious as a
   slowdown — and to per-metric overrides the baseline may carry.
+* **wall-clock metrics by naming convention**: a scenario metric ending
+  in ``_wall_s`` is host wall clock (gated like ``wall_seconds``:
+  regression-only, ``baseline * WALL_FACTOR + WALL_FLOOR_S``); one
+  ending in ``_per_wall_s`` is wall-clock throughput (regression-only
+  lower bound: current must stay above ``baseline / WALL_FACTOR``).
+  This lets scale scenarios (``world_scale``) publish machine-dependent
+  events/sec next to their deterministic counts without brittle gates.
 * **phase call counts** (``phases.*.count``) are exact integers produced
   by the same deterministic run; they must match the baseline exactly.
 * **wall-clock** (``wall_seconds`` and ``phases.*.seconds``) depends on
@@ -84,6 +91,23 @@ def _check_wall(issues: list[Issue], path: str, cur: float, base: float) -> None
         )
 
 
+def _check_rate(issues: list[Issue], path: str, cur: float, base: float) -> None:
+    """Wall-clock throughput (``*_per_wall_s``): only a gross slowdown fails."""
+    if base <= 0.0:
+        return
+    limit = base / WALL_FACTOR
+    if cur < limit:
+        issues.append(
+            Issue(
+                "fail",
+                path,
+                f"throughput regression: {cur:,.0f}/s vs baseline "
+                f"{base:,.0f}/s (limit {limit:,.0f}/s = baseline/"
+                f"{WALL_FACTOR:g})",
+            )
+        )
+
+
 def compare(current: dict, baseline: dict) -> list[Issue]:
     """All comparison findings between a current run and a baseline."""
     issues: list[Issue] = []
@@ -136,6 +160,14 @@ def compare(current: dict, baseline: dict) -> list[Issue]:
                 )
                 continue
             cur_val = cur_metrics[metric]
+            # machine-dependent metrics by naming convention: loose,
+            # regression-only gates (see module docstring)
+            if metric.endswith("_per_wall_s"):
+                _check_rate(issues, path, float(cur_val), float(base_val))
+                continue
+            if metric.endswith("_wall_s"):
+                _check_wall(issues, path, float(cur_val), float(base_val))
+                continue
             tol = float(tolerances.get(path, SIM_REL_TOL))
             delta = _rel_delta(cur_val, base_val)
             if delta > tol:

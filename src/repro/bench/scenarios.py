@@ -619,6 +619,26 @@ def _cache_reuse(profile: Profile) -> dict[str, float]:
     }
 
 
+@scenario("world_scale")
+def _world_scale(profile: Profile) -> dict[str, float]:
+    """Simulator-core scale: events/sec and wall clock at world width.
+
+    Mixed pingpong + bcast load over host memory with ``transfer_log``
+    off (see :mod:`repro.bench.world_scale`).  The event/transfer counts
+    and simulated elapsed time are deterministic and tightly gated; the
+    ``*_wall_s`` / ``*_per_wall_s`` metrics carry the machine-dependent
+    throughput and are gated loosely by the regress naming convention.
+    """
+    from repro.bench.world_scale import world_scale_metrics
+
+    sizes = profile.pick([256, 1024, 4096], [256, 1024])
+    out: dict[str, float] = {}
+    for ranks in sizes:
+        for k, v in world_scale_metrics(ranks).items():
+            out[f"ranks{ranks}_{k}"] = v
+    return out
+
+
 @scenario("coll_crossover")
 def _coll_crossover(profile: Profile) -> dict[str, float]:
     """Rank-count x message-size sweep of the alltoall algorithm ladder.

@@ -92,6 +92,7 @@ class Datatype:
         self.params = params or {}
         self.committed = False
         self._spans: Optional[Spans] = None
+        self._contig: Optional[bool] = None
         #: per-(count) caches used by the convertor fast path
         self._gather_cache: dict[tuple[int, int], np.ndarray] = {}
         #: per-count canonical forms (repro.datatype.canonical)
@@ -113,8 +114,13 @@ class Datatype:
     @property
     def is_contiguous(self) -> bool:
         """True when one element is a single gap-free span starting at 0."""
-        s = self.spans
-        return s.count == 1 and int(s.disps[0]) == 0 and int(s.lens[0]) == self.size
+        cached = self._contig
+        if cached is None:
+            s = self.spans
+            cached = self._contig = (
+                s.count == 1 and int(s.disps[0]) == 0 and int(s.lens[0]) == self.size
+            )
+        return cached
 
     # -- commit / typemap ----------------------------------------------------
     def commit(self) -> "Datatype":

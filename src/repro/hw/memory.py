@@ -42,6 +42,9 @@ class MemoryKind(enum.Enum):
         return self in (MemoryKind.HOST, MemoryKind.HOST_PINNED)
 
 
+_HOST_KINDS = (MemoryKind.HOST, MemoryKind.HOST_PINNED)
+
+
 class OutOfMemory(MemoryError):
     """Raised when an arena cannot satisfy an allocation."""
 
@@ -182,13 +185,15 @@ class Buffer:
     def kind(self) -> MemoryKind:
         return self.memory.kind
 
+    # flat attribute walks (not chained properties): these predicates sit
+    # on every protocol-selection path
     @property
     def is_device(self) -> bool:
-        return self.memory.kind.is_device
+        return self.allocation.memory.kind is MemoryKind.DEVICE
 
     @property
     def is_host(self) -> bool:
-        return self.memory.kind.is_host
+        return self.allocation.memory.kind in _HOST_KINDS
 
     @property
     def device(self) -> Optional[object]:

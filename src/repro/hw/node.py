@@ -83,32 +83,24 @@ class Node:
         )
 
     def cpu_pack_op(self, nbytes: int, fn=None, label: str = "cpu_pack") -> Future:
-        """Charge a CPU pack/unpack of ``nbytes``; run ``fn`` at completion."""
+        """Charge a CPU pack/unpack of ``nbytes``; run ``fn`` at completion.
+
+        ``fn`` is chained as the transfer future's *first* callback, so it
+        runs before any waiter added afterwards resumes — same ordering
+        as the old wrapper future, one allocation and zero extra events
+        cheaper.
+        """
         fut = self.cpu_pack_engine.transfer(nbytes, label=label)
-        if fn is None:
-            return fut
-        out = Future(self.sim, label=label)
-
-        def done(_):
-            fn()
-            out.resolve(None)
-
-        fut.add_callback(done)
-        return out
+        if fn is not None:
+            fut.add_callback(lambda _f: fn())
+        return fut
 
     def cpu_memcpy_op(self, nbytes: int, fn=None, label: str = "cpu_memcpy") -> Future:
         """Charge a plain CPU memcpy; run ``fn`` at completion."""
         fut = self.cpu_memcpy_engine.transfer(nbytes, label=label)
-        if fn is None:
-            return fut
-        out = Future(self.sim, label=label)
-
-        def done(_):
-            fn()
-            out.resolve(None)
-
-        fut.add_callback(done)
-        return out
+        if fn is not None:
+            fut.add_callback(lambda _f: fn())
+        return fut
 
     def __repr__(self) -> str:
         return f"Node({self.name}, {len(self.gpus)} GPUs)"

@@ -27,6 +27,8 @@ class IbBtl(Btl):
             raise ValueError("ib BTL is for inter-node pairs")
         self.nic = src.node.nic
         self.dst_node = dst.node.name
+        #: label -> "ib:<label>" (rendered once per distinct label)
+        self._wire_labels: dict = {}
 
     @property
     def supports_cuda_ipc(self) -> bool:
@@ -40,9 +42,16 @@ class IbBtl(Btl):
     def header_cost_bytes(self) -> int:
         return self.src.node.params.am_header_bytes
 
-    def _wire_send(self, nbytes: int, label: str, gpudirect: bool = False) -> Future:
+    def _wire_send(
+        self, nbytes: int, label: str, gpudirect: bool = False, payload=None
+    ) -> Future:
+        labels = self._wire_labels
+        full = labels.get(label)
+        if full is None:
+            full = labels[label] = f"{self.name}:{label}"
         return self.nic.send(
-            self.dst_node, nbytes, label=f"{self.name}:{label}", gpudirect=gpudirect
+            self.dst_node, nbytes, payload=payload, label=full,
+            gpudirect=gpudirect,
         )
 
     def gpudirect_send(self, nbytes: int, label: str = "gdr") -> Future:

@@ -26,6 +26,8 @@ class SmBtl(Btl):
         if src.node is not dst.node:
             raise ValueError("sm BTL requires both ranks on one node")
         self.link = src.node.shmem_link
+        #: label -> "sm:<label>" (rendered once per distinct label)
+        self._wire_labels: dict = {}
 
     @property
     def supports_cuda_ipc(self) -> bool:
@@ -39,5 +41,11 @@ class SmBtl(Btl):
     def header_cost_bytes(self) -> int:
         return self.src.node.params.am_header_bytes
 
-    def _wire_send(self, nbytes: int, label: str, gpudirect: bool = False) -> Future:
-        return self.link.transfer(nbytes, label=f"{self.name}:{label}")
+    def _wire_send(
+        self, nbytes: int, label: str, gpudirect: bool = False, payload=None
+    ) -> Future:
+        labels = self._wire_labels
+        full = labels.get(label)
+        if full is None:
+            full = labels[label] = f"{self.name}:{label}"
+        return self.link.transfer(nbytes, payload=payload, label=full)

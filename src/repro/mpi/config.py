@@ -98,6 +98,12 @@ class MpiConfig:
     #: matches the paper's ~30 KB GPUDirect-profitability note
     coll_staged_threshold: int = 32 * KB
 
+    #: keep a per-rank TransferStats log entry for every transfer.  On by
+    #: default (WorldStats timing/fragment breakdowns need it); scale
+    #: runs with thousands of ranks turn it off and fall back to the
+    #: always-on protocol counters (see MpiWorld.stats)
+    transfer_log: bool = True
+
     #: GPU datatype engine options
     engine: EngineOptions = field(default_factory=EngineOptions)
 

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Optional
 
 import numpy as np
@@ -16,7 +15,6 @@ ANY_TAG = -1
 _seq = itertools.count()
 
 
-@dataclass(frozen=True)
 class Envelope:
     """MPI matching triple plus ordering sequence numbers.
 
@@ -26,14 +24,29 @@ class Envelope:
     re-sequence arrivals — eager packs of different sizes (or
     fault-injected delays) can deliver a later-posted message first, and
     MPI's non-overtaking rule says matching must still follow post
-    order.  ``-1`` means unordered (no re-sequencing)."""
+    order.  ``-1`` means unordered (no re-sequencing).
 
-    source: int
-    dest: int
-    tag: int
-    comm_id: int
-    seq: int = field(default_factory=lambda: next(_seq))
-    pair_seq: int = -1
+    A plain ``__slots__`` class (one is built per message; the frozen
+    dataclass it used to be paid ~6 ``object.__setattr__`` calls each).
+    """
+
+    __slots__ = ("source", "dest", "tag", "comm_id", "seq", "pair_seq")
+
+    def __init__(
+        self,
+        source: int,
+        dest: int,
+        tag: int,
+        comm_id: int,
+        seq: Optional[int] = None,
+        pair_seq: int = -1,
+    ) -> None:
+        self.source = source
+        self.dest = dest
+        self.tag = tag
+        self.comm_id = comm_id
+        self.seq = next(_seq) if seq is None else seq
+        self.pair_seq = pair_seq
 
     def matches(self, want_source: int, want_tag: int) -> bool:
         """Does this envelope satisfy a posted (source, tag) pair?"""
@@ -41,8 +54,14 @@ class Envelope:
         tag_ok = want_tag == ANY_TAG or want_tag == self.tag
         return src_ok and tag_ok
 
+    def __repr__(self) -> str:
+        return (
+            f"Envelope(source={self.source}, dest={self.dest}, "
+            f"tag={self.tag}, comm_id={self.comm_id}, seq={self.seq}, "
+            f"pair_seq={self.pair_seq})"
+        )
 
-@dataclass
+
 class AmPacket:
     """One Active Message: handler name, small header, optional payload.
 
@@ -51,11 +70,26 @@ class AmPacket:
     transports where the NIC DMA-reads the send buffer at issue.
     """
 
-    handler: str
-    header: dict[str, Any]
-    payload: Optional[np.ndarray] = None
-    envelope: Optional[Envelope] = None
+    __slots__ = ("handler", "header", "payload", "envelope")
+
+    def __init__(
+        self,
+        handler: str,
+        header: dict[str, Any],
+        payload: Optional[np.ndarray] = None,
+        envelope: Optional[Envelope] = None,
+    ) -> None:
+        self.handler = handler
+        self.header = header
+        self.payload = payload
+        self.envelope = envelope
 
     @property
     def payload_bytes(self) -> int:
         return 0 if self.payload is None else int(self.payload.nbytes)
+
+    def __repr__(self) -> str:
+        return (
+            f"AmPacket({self.handler!r}, {self.payload_bytes}B, "
+            f"envelope={self.envelope!r})"
+        )

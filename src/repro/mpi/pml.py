@@ -35,6 +35,7 @@ from repro.mpi.protocols.common import (
     describe_side,
 )
 from repro.obs.stats import TransferStats
+from repro.sanitize import runtime as _san
 from repro.sim.core import Future
 from repro.sim.resources import Mailbox
 
@@ -67,6 +68,8 @@ def _signature_check(send_sig, recv_sig) -> None:
     so a packed ``contiguous(c * n, BYTE)``-style wire type sent with
     count 1 lands legally in ``c`` elements of the original type.
     """
+    if send_sig == recv_sig:
+        return  # identical tuples — the overwhelmingly common case
     flat_s = [(n, c) for n, c in send_sig]
     flat_r = [(n, c) for n, c in recv_sig]
     si = ri = 0
@@ -117,6 +120,23 @@ def _eager_pack_coro(
         # zero-byte send: the envelope still travels, the engines don't
         return np.empty(0, dtype=np.uint8)
     if buf.is_host:
+        if (
+            dt.is_contiguous
+            and (count == 1 or dt.extent == dt.size)
+            and _san.MEM is None
+            and _san.RACE is None
+        ):
+            # contiguous host fast path: same memcpy-engine charge as
+            # CpuSideJob's contiguous branch, minus the convertor and
+            # closure machinery (sanitized runs keep the checked path).
+            # count > 1 needs extent == size too — a resized contiguous
+            # type strides elements apart, which only the convertor walks.
+            stage = np.empty(total, dtype=np.uint8)
+            src = buf.bytes
+            fut = proc.node.cpu_memcpy_engine.transfer(total, label="cpu-pack")
+            fut.add_callback(lambda _f: stage.__setitem__(slice(0, total), src[:total]))
+            yield fut
+            return stage
         job = CpuSideJob(proc, dt, count, buf, "pack")
         stage = np.empty(total, dtype=np.uint8)
         yield job.process_range(0, total, stage)
@@ -150,6 +170,18 @@ def _eager_unpack_coro(
     if total == 0:
         return 0
     if buf.is_host:
+        if (
+            dt.is_contiguous
+            and (count == 1 or dt.extent == dt.size)
+            and _san.MEM is None
+            and _san.RACE is None
+        ):
+            # contiguous host fast path — mirror of _eager_pack_coro's
+            dst = buf.bytes
+            fut = proc.node.cpu_memcpy_engine.transfer(total, label="cpu-unpack")
+            fut.add_callback(lambda _f: dst.__setitem__(slice(0, total), data[:total]))
+            yield fut
+            return total
         job = CpuSideJob(proc, dt, count, buf, "unpack")
         yield job.process_range(0, total, data)
         return total
@@ -213,15 +245,22 @@ def isend_coro(
         }
         # the NIC reads device memory directly under GPUDirect (degraded
         # rate beyond the ~30 KB crossover, at wire speed below it)
+        # owned: the freshly packed stage and literal header are handed
+        # over, so the BTL skips its defensive copies
         yield btl.am_send(
-            "pml.rts", header, payload=data, envelope=env, gpudirect=gdr
+            "pml.rts", header, payload=data, envelope=env, gpudirect=gdr,
+            owned=True,
         )
-        proc.record_transfer(TransferStats(
-            tid=f"{proc.rank}.eager.{next(_tids)}", role="send", peer=dest,
-            protocol="eager", mode="gpudirect" if gdr else "",
-            total_bytes=total, frag_bytes=total, fragments=1,
-            max_in_flight=1, start_s=t0, end_s=proc.sim.now,
-        ))
+        mode = "gpudirect" if gdr else ""
+        if proc.log_transfers:
+            proc.record_transfer(TransferStats(
+                tid=f"{proc.rank}.eager.{next(_tids)}", role="send", peer=dest,
+                protocol="eager", mode=mode,
+                total_bytes=total, frag_bytes=total, fragments=1,
+                max_in_flight=1, start_s=t0, end_s=proc.sim.now,
+            ))
+        else:
+            proc.count_transfer("send", "eager", mode, total)
         return total
 
     tid = f"{proc.rank}.{next(_tids)}"
@@ -301,11 +340,33 @@ def irecv_coro(
 ):
     """Receiver-side PML coroutine: match, choose protocol, run it."""
     dt.commit()
-    on_match = Future(proc.sim, label=f"r{proc.rank}.match")
+    on_match = Future(proc.sim, label=proc._match_label)
     proc.matching.post(
         PostedRecv(source=source, tag=tag, comm_id=comm_id, on_match=on_match)
     )
     env, header, payload, sender_rank = yield on_match
+    status = yield from _matched_recv_coro(
+        world, proc, buf, dt, count, env, header, payload, sender_rank
+    )
+    return status
+
+
+def _matched_recv_coro(
+    world: "MpiWorld",
+    proc: "MpiProcess",
+    buf: Buffer,
+    dt: Datatype,
+    count: int,
+    env,
+    header,
+    payload,
+    sender_rank: int,
+):
+    """Everything after the match: check, choose protocol, run it.
+
+    Shared by :func:`irecv_coro` and the rendezvous fallback of the
+    callback-chained :func:`eager_irecv_fast` path.
+    """
     _signature_check(header["signature"], _times(dt.signature, count))
 
     if header["eager"]:
@@ -314,13 +375,16 @@ def irecv_coro(
         got = yield from _eager_unpack_coro(
             proc, buf, dt, count, payload, gpudirect=gdr,
         )
-        proc.record_transfer(TransferStats(
-            tid=f"{proc.rank}.eager.{next(_tids)}", role="recv",
-            peer=env.source, protocol="eager",
-            mode="gpudirect" if gdr else "",
-            total_bytes=got, frag_bytes=got, fragments=1,
-            max_in_flight=1, start_s=t0, end_s=proc.sim.now,
-        ))
+        mode = "gpudirect" if gdr else ""
+        if proc.log_transfers:
+            proc.record_transfer(TransferStats(
+                tid=f"{proc.rank}.eager.{next(_tids)}", role="recv",
+                peer=env.source, protocol="eager", mode=mode,
+                total_bytes=got, frag_bytes=got, fragments=1,
+                max_in_flight=1, start_s=t0, end_s=proc.sim.now,
+            ))
+        else:
+            proc.count_transfer("recv", "eager", mode, got)
         return Status(source=env.source, tag=env.tag, count_bytes=got)
 
     tid = header["tid"]
@@ -376,3 +440,219 @@ def rts_handler(world: "MpiWorld", proc: "MpiProcess"):
         proc.matching.arrive(env, arrival)
 
     return handle
+
+
+# ---------------------------------------------------------------------------
+# callback-chained fast paths (host-contiguous eager, unsanitized)
+# ---------------------------------------------------------------------------
+#
+# The coroutine PML above is the source of truth: it handles every
+# placement, protocol, sanitizer, and fault combination.  The two
+# functions below are a hand-scheduled rendering of exactly one slice of
+# it — host buffer, flat-contiguous datatype, eager size, no faults, no
+# sanitizers — chaining plain future callbacks instead of spawning a
+# Process per operation.  They issue the *same* engine transfers in the
+# same order at the same simulated times, so modeled results are
+# bit-identical to the coroutine path; only the Python-side overhead
+# (two Process allocations and ~6 generator resumptions per message)
+# disappears.  Anything they cannot prove safe falls back to the
+# coroutines, which therefore remain the behavioural reference.
+
+
+def eager_fast_ok(proc: "MpiProcess", buf: Buffer, dt: Datatype, count: int) -> bool:
+    """Is the hand-scheduled eager path valid for this operation?"""
+    if proc.faults is not None or _san.RACE is not None or _san.MEM is not None:
+        return False
+    if not buf.is_host:
+        return False
+    dt.commit()
+    return dt.is_contiguous and (count == 1 or dt.extent == dt.size)
+
+
+def _eager_header(proc: "MpiProcess", dt: Datatype, count: int, total: int) -> dict:
+    """The (immutable, shareable) eager RTS header for (dt, count).
+
+    Receivers only ever read headers, so repeated same-shape sends reuse
+    one dict; the cache holds a strong dt ref to keep ``id(dt)`` valid
+    and hits verify identity, mirroring the convertor cache.
+    """
+    cache = proc._eager_hdr_cache
+    key = (id(dt), count)
+    hit = cache.get(key)
+    if hit is not None and hit[0] is dt:
+        return hit[1]
+    if len(cache) >= 256:
+        cache.clear()
+    header = {
+        "eager": True,
+        "total": total,
+        "signature": _times(dt.signature, count),
+        "gpudirect": False,
+    }
+    cache[key] = (dt, header)
+    return header
+
+
+def eager_isend_fast(
+    world: "MpiWorld",
+    proc: "MpiProcess",
+    buf: Buffer,
+    dt: Datatype,
+    count: int,
+    dest: int,
+    tag: int,
+    comm_id: int = 0,
+) -> Future:
+    """Host-contiguous eager send as a callback chain (no Process).
+
+    Returns a future resolving with ``None`` at wire delivery — the same
+    completion point and value as the :func:`isend_coro` eager branch.
+    """
+    total = dt.size * count
+    dst_proc = world.procs[dest]
+    btl = world.bml.btl_for(proc, dst_proc)
+    env = Envelope(
+        source=proc.rank, dest=dest, tag=tag, comm_id=comm_id,
+        pair_seq=proc.next_send_seq(dest, comm_id),
+    )
+    header = _eager_header(proc, dt, count, total)
+    sim = proc.sim
+    done = Future(sim, label="eager-send")
+    log = proc.log_transfers
+    t0 = sim.now if log else 0.0
+    if total == 0:
+        data = np.empty(0, dtype=np.uint8)
+        wire = btl.am_send("pml.rts", header, payload=data, envelope=env,
+                           owned=True)
+
+        def sent0(_f: Future) -> None:
+            if log:
+                proc.record_transfer(TransferStats(
+                    tid=f"{proc.rank}.eager.{next(_tids)}", role="send",
+                    peer=dest, protocol="eager", mode="",
+                    total_bytes=0, frag_bytes=0, fragments=1,
+                    max_in_flight=1, start_s=t0, end_s=sim.now,
+                ))
+            else:
+                proc.count_transfer("send", "eager", "", 0)
+            done.resolve(None)
+
+        wire.add_callback(sent0)
+        return done
+    stage = np.empty(total, dtype=np.uint8)
+    src = buf.bytes
+    pack = proc.node.cpu_memcpy_engine.transfer(total, label="cpu-pack")
+
+    def packed(_f: Future) -> None:
+        stage[0:total] = src[:total]
+        wire = btl.am_send("pml.rts", header, payload=stage, envelope=env,
+                           owned=True)
+
+        def sent(_f2: Future) -> None:
+            if log:
+                proc.record_transfer(TransferStats(
+                    tid=f"{proc.rank}.eager.{next(_tids)}", role="send",
+                    peer=dest, protocol="eager", mode="",
+                    total_bytes=total, frag_bytes=total, fragments=1,
+                    max_in_flight=1, start_s=t0, end_s=sim.now,
+                ))
+            else:
+                proc.count_transfer("send", "eager", "", total)
+            done.resolve(None)
+
+        wire.add_callback(sent)
+
+    pack.add_callback(packed)
+    return done
+
+
+def eager_irecv_fast(
+    world: "MpiWorld",
+    proc: "MpiProcess",
+    buf: Buffer,
+    dt: Datatype,
+    count: int,
+    source: int,
+    tag: int,
+    comm_id: int = 0,
+) -> Future:
+    """Host-contiguous receive as a callback chain (no Process).
+
+    Eager arrivals unpack inline; a rendezvous RTS falls back to the
+    coroutine continuation (:func:`_matched_recv_coro`), so the fast
+    path never has to understand the pipelined protocols.  Resolves
+    with the :class:`Status`, like :func:`irecv_coro`.
+    """
+    sim = proc.sim
+    result = Future(sim, label="eager-recv")
+    on_match = Future(sim, label=proc._match_label)
+    want_sig = _times(dt.signature, count)
+    size = dt.size * count
+    log = proc.log_transfers
+
+    def matched(mf: Future) -> None:
+        env, header, payload, sender_rank = mf._value
+        if not header["eager"] or header.get("gpudirect", False):
+            # rendezvous (or a gpudirect eager pack): run the coroutine
+            # continuation and mirror its outcome onto ``result``
+            p = sim.spawn(
+                _matched_recv_coro(
+                    world, proc, buf, dt, count,
+                    env, header, payload, sender_rank,
+                ),
+                label="irecv-rest",
+                eager_start=True,
+            )
+
+            def finish(f: Future) -> None:
+                if f._exception is not None:
+                    result.fail(f._exception)
+                else:
+                    result.resolve(f._value)
+
+            p.add_callback(finish)
+            return
+        try:
+            _signature_check(header["signature"], want_sig)
+        except BaseException as err:
+            result.fail(err)
+            return
+        t0 = sim.now
+        total = min(size, len(payload))
+        if total == 0:
+            if log:
+                proc.record_transfer(TransferStats(
+                    tid=f"{proc.rank}.eager.{next(_tids)}", role="recv",
+                    peer=env.source, protocol="eager", mode="",
+                    total_bytes=0, frag_bytes=0, fragments=1,
+                    max_in_flight=1, start_s=t0, end_s=sim.now,
+                ))
+            else:
+                proc.count_transfer("recv", "eager", "", 0)
+            result.resolve(Status(source=env.source, tag=env.tag,
+                                  count_bytes=0))
+            return
+        unpack = proc.node.cpu_memcpy_engine.transfer(total, label="cpu-unpack")
+        dst = buf.bytes
+
+        def unpacked(_f: Future) -> None:
+            dst[0:total] = payload[:total]
+            if log:
+                proc.record_transfer(TransferStats(
+                    tid=f"{proc.rank}.eager.{next(_tids)}", role="recv",
+                    peer=env.source, protocol="eager", mode="",
+                    total_bytes=total, frag_bytes=total, fragments=1,
+                    max_in_flight=1, start_s=t0, end_s=sim.now,
+                ))
+            else:
+                proc.count_transfer("recv", "eager", "", total)
+            result.resolve(Status(source=env.source, tag=env.tag,
+                                  count_bytes=total))
+
+        unpack.add_callback(unpacked)
+
+    on_match.add_callback(matched)
+    proc.matching.post(
+        PostedRecv(source=source, tag=tag, comm_id=comm_id, on_match=on_match)
+    )
+    return result

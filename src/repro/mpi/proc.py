@@ -56,7 +56,24 @@ class MpiProcess:
             else MetricsRegistry().scoped(f"r{rank}.")
         )
         #: one :class:`TransferStats` per completed transfer on this rank
+        #: (config.transfer_log=False keeps only the counters — scale runs)
         self.transfer_log: list[TransferStats] = []
+        self.log_transfers: bool = config.transfer_log
+        #: cached counter objects keyed (role, protocol, mode) so the
+        #: per-transfer hot path skips the f-string + registry lookups
+        self._rt_counters: dict = {}
+        #: reusable CPU convertors keyed (direction, count, id(dt), id(buf));
+        #: values hold strong refs to dt/buf so the ids stay valid, and hits
+        #: verify identity — see CpuSideJob
+        self._convertor_cache: dict = {}
+        #: pre-rendered label for matching futures (one irecv per message)
+        self._match_label: str = f"r{rank}.match"
+        #: per-peer cached isend/irecv process labels (one spawn per message)
+        self._isend_labels: dict = {}
+        self._irecv_labels: dict = {}
+        #: reusable eager RTS headers keyed (id(dt), count) — headers are
+        #: read-only downstream, so same-shape sends share one dict
+        self._eager_hdr_cache: dict = {}
         self.ctx: Optional[CudaContext] = CudaContext(gpu) if gpu else None
         self._engine: Optional[GpuDatatypeEngine] = None
         self._handlers: dict[str, Callable[[AmPacket, "Btl"], None]] = {}
@@ -150,14 +167,39 @@ class MpiProcess:
     def record_transfer(self, stats: TransferStats) -> None:
         """Log a finished transfer and bump the per-protocol counters."""
         stats.rank = self.rank
-        self.transfer_log.append(stats)
-        self.metrics.counter(f"pml.{stats.role}s").inc()
-        self.metrics.counter(f"pml.{stats.role}_bytes").inc(stats.total_bytes)
-        self.metrics.counter(f"protocol.{stats.protocol or 'unknown'}").inc()
-        if stats.mode:
-            self.metrics.counter(
-                f"protocol.{stats.protocol}.{stats.mode}"
-            ).inc()
+        if self.log_transfers:
+            self.transfer_log.append(stats)
+        self.count_transfer(
+            stats.role, stats.protocol, stats.mode, stats.total_bytes
+        )
+
+    def count_transfer(
+        self, role: str, protocol: str, mode: str, nbytes: int
+    ) -> None:
+        """Bump the per-protocol counters without building a TransferStats.
+
+        The counters-only path used at scale (``config.transfer_log``
+        off); counter objects are created once per (role, protocol, mode)
+        and cached, and bumped with direct ``value`` writes (``nbytes``
+        is validated non-negative upstream).
+        """
+        key = (role, protocol, mode)
+        counters = self._rt_counters.get(key)
+        if counters is None:
+            m = self.metrics
+            counters = (
+                m.counter(f"pml.{role}s"),
+                m.counter(f"pml.{role}_bytes"),
+                m.counter(f"protocol.{protocol or 'unknown'}"),
+                m.counter(f"protocol.{protocol}.{mode}") if mode else None,
+            )
+            self._rt_counters[key] = counters
+        c_ops, c_bytes, c_proto, c_mode = counters
+        c_ops.value += 1
+        c_bytes.value += nbytes
+        c_proto.value += 1
+        if c_mode is not None:
+            c_mode.value += 1
 
     # -- Active Message dispatch -----------------------------------------
     def register_handler(

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Optional
 
 from repro.sim.core import Future, Process
@@ -10,13 +9,15 @@ from repro.sim.core import Future, Process
 __all__ = ["Request", "Status"]
 
 
-@dataclass(frozen=True)
 class Status:
     """Completion information of a receive (``MPI_Status``)."""
 
-    source: int
-    tag: int
-    count_bytes: int
+    __slots__ = ("source", "tag", "count_bytes")
+
+    def __init__(self, source: int, tag: int, count_bytes: int) -> None:
+        self.source = source
+        self.tag = tag
+        self.count_bytes = count_bytes
 
     def get_count(self, datatype) -> int:
         """Number of whole ``datatype`` elements received (MPI_Get_count)."""
@@ -25,6 +26,12 @@ class Status:
         if self.count_bytes % datatype.size:
             return -1  # MPI_UNDEFINED: a partial element arrived
         return self.count_bytes // datatype.size
+
+    def __repr__(self) -> str:
+        return (
+            f"Status(source={self.source}, tag={self.tag}, "
+            f"count_bytes={self.count_bytes})"
+        )
 
 
 class Request:

@@ -14,6 +14,7 @@ cluster and runs rank *programs* — generator coroutines receiving a
 
 from __future__ import annotations
 
+import time as _time
 from typing import Callable, Optional, Sequence
 
 from repro.datatype.ddt import Datatype
@@ -24,7 +25,14 @@ from repro.mpi.bml import Bml
 from repro.mpi.comm import Communicator
 from repro.mpi.config import MpiConfig
 from repro.mpi.message import ANY_SOURCE, ANY_TAG
-from repro.mpi.pml import irecv_coro, isend_coro, rts_handler
+from repro.mpi.pml import (
+    eager_fast_ok,
+    eager_irecv_fast,
+    eager_isend_fast,
+    irecv_coro,
+    isend_coro,
+    rts_handler,
+)
 from repro.mpi.proc import MpiProcess
 from repro.mpi.requests import Request
 from repro.obs.metrics import MetricsRegistry
@@ -33,6 +41,50 @@ from repro.sanitize import runtime as _san
 from repro.sim.core import Future, Process, all_of, any_of
 
 __all__ = ["MpiWorld", "RankContext"]
+
+
+class _ProcTable:
+    """Lazily-materialized rank -> :class:`MpiProcess` table.
+
+    World construction at scale (4k+ ranks) should not pay for per-rank
+    state the run never touches, so the world builds processes on first
+    index.  The table looks like the eager ``list`` it replaces:
+    ``world.procs[r]``, iteration, ``len`` and unpacking all work —
+    iterating materializes every rank (tests do this on small worlds),
+    while the observability paths use :meth:`materialized` to visit only
+    ranks that actually exist.
+
+    Construction must be side-effect free on the simulator (it is:
+    ``MpiProcess.__init__`` is pure bookkeeping), so a rank materializing
+    mid-run cannot perturb event ordering.
+    """
+
+    __slots__ = ("_world", "_slots")
+
+    def __init__(self, world: "MpiWorld") -> None:
+        self._world = world
+        self._slots: list[Optional[MpiProcess]] = [None] * len(
+            world.placements
+        )
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __getitem__(self, rank: int) -> MpiProcess:
+        proc = self._slots[rank]
+        if proc is None:
+            if rank < 0:
+                rank += len(self._slots)
+            proc = self._slots[rank] = self._world._make_proc(rank)
+        return proc
+
+    def __iter__(self):
+        for rank in range(len(self._slots)):
+            yield self[rank]
+
+    def materialized(self):
+        """Only the ranks built so far (stats/reset visit just these)."""
+        return (p for p in self._slots if p is not None)
 
 
 class MpiWorld:
@@ -80,22 +132,38 @@ class MpiWorld:
             self.faults = FaultPlan(
                 self.config.faults, metrics=self.metrics.scoped("faults.")
             )
-        self.procs: list[MpiProcess] = []
-        for rank, (node_i, gpu_i) in enumerate(placements):
-            node = cluster.nodes[node_i]
-            gpu = node.gpus[gpu_i] if gpu_i is not None else None
-            proc = MpiProcess(
-                rank, node, gpu, self.config,
-                metrics=self.metrics.scoped(f"r{rank}."),
-                faults=self.faults,
-            )
-            proc.register_handler("pml.rts", rts_handler(self, proc))
-            self.procs.append(proc)
+        #: lazily-built per-rank process table — shared immutable state
+        #: (config, placements, fault plan, metrics root) lives on the
+        #: world; each rank's mutable state materializes on first use
+        self.procs = _ProcTable(self)
         self._barrier_waiters: list[Future] = []
         self._barrier_arrived = 0
         self._barrier_snap: Optional[dict] = None
+        #: simulator-counter baselines for the current stats window — the
+        #: shared clock may predate (or outlive) this world, so ``stats()``
+        #: reports deltas from here rather than the simulator's lifetime
+        #: totals
+        self._events_base = self.sim.events_processed
+        self._timers_cancelled_base = self.sim.timers_cancelled
+        #: wall-clock and simulated seconds accumulated by ``run`` calls
+        #: in the current stats window
+        self._run_wall_s = 0.0
+        self._sim_elapsed_s = 0.0
         #: MPI_COMM_WORLD
         self.comm_world = Communicator(self, comm_id=0)
+
+    def _make_proc(self, rank: int) -> MpiProcess:
+        """Materialize one rank's process (called by :class:`_ProcTable`)."""
+        node_i, gpu_i = self.placements[rank]
+        node = self.cluster.nodes[node_i]
+        gpu = node.gpus[gpu_i] if gpu_i is not None else None
+        proc = MpiProcess(
+            rank, node, gpu, self.config,
+            metrics=self.metrics.scoped(f"r{rank}."),
+            faults=self.faults,
+        )
+        proc.register_handler("pml.rts", rts_handler(self, proc))
+        return proc
 
     @property
     def size(self) -> int:
@@ -132,13 +200,17 @@ class MpiWorld:
         if not isinstance(programs, dict):
             programs = dict(enumerate(programs))
         t0 = self.sim.now
+        wall0 = _time.perf_counter()
         procs: list[Process] = []
         for rank, fn in programs.items():
             mpi = self.context(rank)
             procs.append(self.sim.spawn(fn(mpi), label=f"rank{rank}"))
         done = all_of(self.sim, procs, label="world.run")
         self.sim.run_until_complete(done, limit=limit)
-        return self.sim.now - t0
+        elapsed = self.sim.now - t0
+        self._run_wall_s += _time.perf_counter() - wall0
+        self._sim_elapsed_s += elapsed
+        return elapsed
 
     # -- observability ---------------------------------------------------------
     def stats(self) -> WorldStats:
@@ -150,7 +222,7 @@ class MpiWorld:
         pack/wire overlap the paper's pipelining argument rests on.
         """
         ws = WorldStats()
-        for proc in self.procs:
+        for proc in self.procs.materialized():
             for t in proc.transfer_log:
                 ws.transfers.append(t)
                 key = t.protocol or "unknown"
@@ -173,11 +245,36 @@ class MpiWorld:
                 groups.get("pack", []), groups.get("wire", [])
             )
         ws.metrics = self.metrics.snapshot()
+        if not ws.transfers:
+            # transfer_log off (scale runs): rebuild the protocol mix from
+            # the per-rank ``r<k>.protocol.*`` counters so dashboards and
+            # benchmark gates keep working without the per-transfer records
+            for k, v in ws.metrics.items():
+                if not v:  # reset leaves zeroed counters behind
+                    continue
+                rank, dot, rest = k.partition(".")
+                if not (dot and rank.startswith("r")):
+                    continue
+                if not rest.startswith("protocol."):
+                    continue
+                name = rest[len("protocol."):]
+                if "." in name:
+                    ws.by_mode[name] = ws.by_mode.get(name, 0) + v
+                else:
+                    ws.by_protocol[name] = ws.by_protocol.get(name, 0) + v
+        sim = self.sim
+        ws.events_processed = sim.events_processed - self._events_base
+        ws.timers_cancelled = (
+            sim.timers_cancelled - self._timers_cancelled_base
+        )
+        ws.peak_queue_depth = sim.peak_queue_depth
+        ws.run_wall_s = self._run_wall_s
+        ws.sim_elapsed_s = self._sim_elapsed_s
         return ws
 
     def reset_stats(self) -> None:
         """Forget everything observed so far (e.g. after warmup rounds)."""
-        for proc in self.procs:
+        for proc in self.procs.materialized():
             proc.transfer_log.clear()
             if proc._engine is not None:
                 proc._engine.reset_counters()
@@ -185,6 +282,11 @@ class MpiWorld:
         tracer = self.cluster.tracer
         if tracer:
             tracer.clear()
+        self._events_base = self.sim.events_processed
+        self._timers_cancelled_base = self.sim.timers_cancelled
+        self.sim.reset_peak_depth()
+        self._run_wall_s = 0.0
+        self._sim_elapsed_s = 0.0
 
     # -- naive barrier (no wire cost; for test scaffolding) ----------------------
     def _barrier(self, _rank: int) -> Future:
@@ -271,14 +373,28 @@ class RankContext:
     ) -> Request:
         """Nonblocking send; returns a waitable :class:`Request`."""
         comm_id = comm.comm_id if comm is not None else 0
+        nbytes = datatype.size * count
+        if nbytes <= self.config.eager_limit and eager_fast_ok(
+            self.proc, buf, datatype, count
+        ):
+            fut = eager_isend_fast(
+                self.world, self.proc, buf, datatype, count, dest, tag,
+                comm_id=comm_id,
+            )
+            return Request(fut, "send", nbytes)
+        labels = self.proc._isend_labels
+        label = labels.get(dest)
+        if label is None:
+            label = labels[dest] = f"isend r{self.rank}->r{dest}"
         proc = self.sim.spawn(
             isend_coro(
                 self.world, self.proc, buf, datatype, count, dest, tag,
                 comm_id=comm_id,
             ),
-            label=f"isend r{self.rank}->r{dest}",
+            label=label,
+            eager_start=True,
         )
-        return Request(proc, "send", datatype.size * count)
+        return Request(proc, "send", nbytes)
 
     def irecv(
         self,
@@ -291,24 +407,33 @@ class RankContext:
     ) -> Request:
         """Nonblocking receive; resolves with a :class:`Status`."""
         comm_id = comm.comm_id if comm is not None else 0
+        nbytes = datatype.size * count
+        if eager_fast_ok(self.proc, buf, datatype, count):
+            fut = eager_irecv_fast(
+                self.world, self.proc, buf, datatype, count, source, tag,
+                comm_id=comm_id,
+            )
+            return Request(fut, "recv", nbytes)
+        labels = self.proc._irecv_labels
+        label = labels.get(source)
+        if label is None:
+            label = labels[source] = f"irecv r{self.rank}<-r{source}"
         proc = self.sim.spawn(
             irecv_coro(
                 self.world, self.proc, buf, datatype, count, source, tag,
                 comm_id=comm_id,
             ),
-            label=f"irecv r{self.rank}<-r{source}",
+            label=label,
+            eager_start=True,
         )
-        return Request(proc, "recv", datatype.size * count)
+        return Request(proc, "recv", nbytes)
 
-    def send(self, buf, datatype, count, dest, tag: int = 0, comm=None) -> Request:
-        """Blocking send: ``yield mpi.send(...)`` completes the transfer."""
-        return self.isend(buf, datatype, count, dest, tag, comm=comm)
+    # blocking forms are pure aliases (``yield mpi.send(...)`` waits via the
+    # returned Request) — class-level bindings skip a delegation frame on
+    # the hottest user-facing calls
+    send = isend
 
-    def recv(
-        self, buf, datatype, count, source=ANY_SOURCE, tag=ANY_TAG, comm=None
-    ) -> Request:
-        """Blocking receive: ``yield mpi.recv(...)``."""
-        return self.irecv(buf, datatype, count, source, tag, comm=comm)
+    recv = irecv
 
     @property
     def comm_world(self) -> Communicator:

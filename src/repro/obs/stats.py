@@ -205,8 +205,25 @@ class WorldStats:
     wire_busy_s: float = 0.0
     pcie_busy_s: float = 0.0
     pack_wire_overlap_s: float = 0.0
+    #: simulator-core counters for the stats window (between resets):
+    #: events executed, timers cancelled before firing, and the event
+    #: queue's high-water mark
+    events_processed: int = 0
+    timers_cancelled: int = 0
+    peak_queue_depth: int = 0
+    #: wall-clock seconds spent inside ``world.run`` for the window
+    run_wall_s: float = 0.0
+    #: simulated seconds elapsed across the window's ``run`` calls
+    sim_elapsed_s: float = 0.0
     #: flat snapshot of the world's metrics registry
     metrics: dict = field(default_factory=dict)
+
+    @property
+    def events_per_wall_s(self) -> float:
+        """Simulator events executed per wall-clock second (0 if unrun)."""
+        if self.run_wall_s <= 0.0:
+            return 0.0
+        return self.events_processed / self.run_wall_s
 
     @property
     def cache(self) -> CacheStats:
@@ -306,6 +323,12 @@ class WorldStats:
             "pcie_busy_s": self.pcie_busy_s,
             "pack_wire_overlap_s": self.pack_wire_overlap_s,
             "pack_wire_overlap_fraction": self.pack_wire_overlap_fraction,
+            "events_processed": self.events_processed,
+            "timers_cancelled": self.timers_cancelled,
+            "peak_queue_depth": self.peak_queue_depth,
+            "run_wall_s": self.run_wall_s,
+            "sim_elapsed_s": self.sim_elapsed_s,
+            "events_per_wall_s": self.events_per_wall_s,
             "credit_wait_s": self.credit_wait_s,
             "retransmits": self.retransmits,
             "dup_drops": self.dup_drops,
@@ -330,6 +353,15 @@ class WorldStats:
             f"overlap {self.pack_wire_overlap_fraction:.2f}",
             f"credit wait {self.credit_wait_s * 1e6:.1f}us",
         ]
+        if self.events_processed:
+            line = (
+                f"events: {self.events_processed} "
+                f"(peak queue {self.peak_queue_depth}, "
+                f"{self.timers_cancelled} timers cancelled)"
+            )
+            if self.run_wall_s > 0.0:
+                line += f", {self.events_per_wall_s:,.0f} events/s wall"
+            lines.append(line)
         colls = self.coll_ops
         if colls:
             lines.append(f"collectives: {dict(sorted(colls.items()))}")

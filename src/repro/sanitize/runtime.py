@@ -28,16 +28,34 @@ RACE: Optional[object] = None
 #: DEV/CUDA_DEV work-list validator (:class:`repro.sanitize.devcheck.DevValidator`)
 DEV: Optional[object] = None
 
+#: callbacks invoked with ``RACE is not None`` on every install/clear —
+#: lets hot modules swap between fast and instrumented method bindings
+#: once per enable/disable instead of branching per event
+_listeners: list = []
+
 
 def active() -> bool:
     """True when any checker is installed."""
     return MEM is not None or RACE is not None or DEV is not None
 
 
+def subscribe(fn) -> None:
+    """Register ``fn(race_active: bool)``; called now and on every change.
+
+    The immediate call lets subscribers establish their initial binding
+    at import time (checkers may already be installed via the env var).
+    """
+    _listeners.append(fn)
+    fn(RACE is not None)
+
+
 def install(mem=None, race=None, dev=None) -> None:
     """Install checker instances (None leaves a slot empty)."""
     global MEM, RACE, DEV
     MEM, RACE, DEV = mem, race, dev
+    race_active = race is not None
+    for fn in _listeners:
+        fn(race_active)
 
 
 def clear() -> None:

@@ -51,7 +51,9 @@ class FifoLink:
         self.bandwidth = float(bandwidth)
         self.latency = float(latency)
         self.overhead = float(overhead)
-        self.tracer = tracer
+        # normalize falsy tracers (NullTracer) to None so the per-transfer
+        # check is a C-level identity test, not a __bool__ call
+        self.tracer = tracer if tracer else None
         self._busy_until = 0.0
         self.bytes_transferred = 0
         self.transfers = 0
@@ -70,21 +72,79 @@ class FifoLink:
         """Queue a transfer; the future resolves with ``payload`` at delivery."""
         if nbytes < 0:
             raise ValueError(f"link {self.name!r}: negative transfer size")
-        start = max(self.sim.now, self._busy_until)
-        occupy = self.overhead + extra_overhead + nbytes / self.bandwidth
-        end = start + occupy
+        sim = self.sim
+        start = self._busy_until
+        now = sim._now
+        if start < now:
+            start = now
+        # parenthesized: identical float association to the original
+        # `start + occupy` so modeled times never shift by an ulp
+        end = start + (self.overhead + extra_overhead + nbytes / self.bandwidth)
         self._busy_until = end
-        arrival = end + self.latency
         self.bytes_transferred += nbytes
         self.transfers += 1
-        if self.tracer:
+        if self.tracer is not None:
             self.tracer.record(self.name, start, end, label or "xfer", nbytes)
-        fut = Future(self.sim, label=label or f"{self.name}:{nbytes}B")
+        fut = Future(sim, label=label or self.name)
         if _san.RACE is not None:
             # delivery resolves from a bare timer; the HB edge is from the
             # *issuer*, so stamp its clock at issue time
             fut._san_snap = _san.RACE.snapshot()
-        self.sim.call_at(arrival, lambda: fut.resolve(payload))
+        fut._fire_value = payload
+        sim.schedule_at(end + self.latency, fut._resolve_scheduled)
+        return fut
+
+    def transfer_many(
+        self,
+        sizes,
+        payload: Any = None,
+        label: str = "",
+        extra_overhead: float = 0.0,
+    ) -> Future:
+        """Fold N back-to-back transfers into one delivery event.
+
+        Busy-time and byte accounting are bit-identical to issuing
+        :meth:`transfer` once per entry of ``sizes`` (the occupancy fold
+        uses the same per-op float arithmetic), but only a single future
+        and a single timer event are created, resolving with ``payload``
+        at the delivery time of the *last* chunk.  Use when the issue
+        order allows the caller to wait on the batch as a whole — e.g.
+        staging all blocks of a collective through one engine.
+
+        With a tracer installed the per-chunk spans are still recorded
+        individually so traces stay comparable.
+        """
+        sim = self.sim
+        start = self._busy_until
+        now = sim._now
+        if start < now:
+            start = now
+        bw = self.bandwidth
+        per_op = self.overhead + extra_overhead
+        total = 0
+        end = start
+        tracer = self.tracer
+        for nbytes in sizes:
+            if nbytes < 0:
+                raise ValueError(f"link {self.name!r}: negative transfer size")
+            # parenthesized to match transfer()'s `start + occupy` float
+            # association exactly, keeping the fold bit-identical
+            chunk_end = end + (per_op + nbytes / bw)
+            if tracer is not None:
+                tracer.record(self.name, end, chunk_end, label or "xfer", nbytes)
+            end = chunk_end
+            total += nbytes
+            self.transfers += 1
+        self._busy_until = end
+        self.bytes_transferred += total
+        fut = Future(sim, label=label or self.name)
+        if _san.RACE is not None:
+            fut._san_snap = _san.RACE.snapshot()
+        fut._fire_value = payload
+        if end == start:  # empty batch: still deliver asynchronously
+            sim.schedule_soon(fut._resolve_scheduled)
+        else:
+            sim.schedule_at(end + self.latency, fut._resolve_scheduled)
         return fut
 
     @property
@@ -114,6 +174,7 @@ class Resource:
         self.sim = sim
         self.name = name
         self.capacity = capacity
+        self._acq_label = name + ".acquire"
         self._in_use = 0
         self._waiters: deque[Future] = deque()
 
@@ -123,7 +184,7 @@ class Resource:
 
     def acquire(self) -> Future:
         """Request a slot; resolves immediately if capacity remains."""
-        fut = Future(self.sim, label=f"{self.name}.acquire")
+        fut = Future(self.sim, label=self._acq_label)
         if self._in_use < self.capacity:
             self._in_use += 1
             fut.resolve(self)
@@ -151,6 +212,7 @@ class Semaphore:
         self.sim = sim
         self.name = name
         self._value = value
+        self._p_label = name + ".P"
         self._waiters: deque[Future] = deque()
         #: release-time clock snapshots for banked tokens (parallel FIFO);
         #: a token banked by fragment i's ACK carries the ACK context, so
@@ -163,7 +225,7 @@ class Semaphore:
 
     def acquire(self) -> Future:
         """P operation: resolves when a token is available."""
-        fut = Future(self.sim, label=f"{self.name}.P")
+        fut = Future(self.sim, label=self._p_label)
         if self._value > 0:
             self._value -= 1
             if _san.RACE is not None and self._san_bank:
@@ -194,6 +256,7 @@ class Mailbox:
     def __init__(self, sim: Simulator, name: str = "mailbox"):
         self.sim = sim
         self.name = name
+        self._get_label = name + ".get"
         self._items: deque[Any] = deque()
         self._getters: deque[Future] = deque()
         #: putter-context snapshots for queued items (parallel FIFO) — a
@@ -214,7 +277,7 @@ class Mailbox:
 
     def get(self) -> Future:
         """Future resolving with the next item (FIFO)."""
-        fut = Future(self.sim, label=f"{self.name}.get")
+        fut = Future(self.sim, label=self._get_label)
         if self._items:
             item = self._items.popleft()
             if self._san_snaps:

@@ -264,3 +264,73 @@ class TestSteadyStateReuse:
         # iteration 1 pays IPC registration; later iterations identical
         assert times[0] > times[1]
         assert times[1] == pytest.approx(times[2]) == pytest.approx(times[3])
+
+
+class TestWorldScaleObservability:
+    """The simulator-core counters WorldStats reports per stats window."""
+
+    def test_stats_carries_event_loop_counters(self):
+        world = make_world("cpu")
+        C = contiguous(256, DOUBLE).commit()
+        b0 = alloc(world, 0, C.size)
+        b1 = alloc(world, 1, C.size)
+        one_way(world, b0, C, 1, b1, C, 1)
+        ws = world.stats()
+        assert ws.events_processed > 0
+        assert ws.peak_queue_depth >= 1
+        assert ws.timers_cancelled >= 0
+        assert ws.run_wall_s > 0.0
+        assert ws.sim_elapsed_s > 0.0
+        assert ws.events_per_wall_s == pytest.approx(
+            ws.events_processed / ws.run_wall_s
+        )
+        d = ws.to_dict()
+        for key in (
+            "events_processed",
+            "timers_cancelled",
+            "peak_queue_depth",
+            "run_wall_s",
+            "sim_elapsed_s",
+            "events_per_wall_s",
+        ):
+            assert key in d
+        assert "events:" in ws.summary()
+
+    def test_reset_stats_restarts_the_window(self):
+        world = make_world("cpu")
+        C = contiguous(256, DOUBLE).commit()
+        b0 = alloc(world, 0, C.size)
+        b1 = alloc(world, 1, C.size)
+        one_way(world, b0, C, 1, b1, C, 1)
+        assert world.stats().events_processed > 0
+        world.reset_stats()
+        ws = world.stats()
+        assert ws.events_processed == 0
+        assert ws.run_wall_s == 0.0
+        assert ws.sim_elapsed_s == 0.0
+        assert not ws.by_protocol
+        # a fresh run after the reset is counted again
+        one_way(world, b0, C, 1, b1, C, 1, tag=6)
+        ws2 = world.stats()
+        assert ws2.events_processed > 0
+        assert ws2.by_protocol  # counters-fallback or transfer log
+
+    def test_by_protocol_fallback_without_transfer_log(self):
+        world = make_world("cpu", MpiConfig(transfer_log=False))
+        C = contiguous(256, DOUBLE).commit()
+        b0 = alloc(world, 0, C.size)
+        b1 = alloc(world, 1, C.size)
+        one_way(world, b0, C, 1, b1, C, 1)
+        ws = world.stats()
+        assert not ws.transfers  # log off: no per-transfer records
+        # ... but the protocol mix is rebuilt from the metric counters
+        assert ws.by_protocol.get("eager") == 2  # one send + one recv
+
+    def test_world_builds_lazily(self):
+        world = make_world("cpu")
+        assert sum(1 for _ in world.procs.materialized()) == 0
+        assert len(world.procs) == 2
+        _ = world.procs[1]
+        assert sum(1 for _ in world.procs.materialized()) == 1
+        assert [p.rank for p in world.procs] == [0, 1]  # full iteration
+        assert world.procs[-1].rank == 1

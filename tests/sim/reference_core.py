@@ -1,0 +1,148 @@
+"""Frozen pre-optimization event loop — the determinism reference.
+
+This is a verbatim copy of the ``Simulator``/``TimerHandle`` pair as they
+stood before the fast-path rewrite (PR 7): a binary heap of
+``(when, seq, TimerHandle)`` tuples, cancelled timers skipped at pop
+time, ties broken by insertion order.  The optimized loop in
+:mod:`repro.sim.core` must produce bit-for-bit identical event sequences
+on any workload; ``tests/sim/test_equivalence.py`` drives the same
+seeded workloads through both and compares ``(time, label)`` traces.
+
+Do **not** "improve" this file — its value is that it does not change.
+
+The only additions are the thin adapter methods at the bottom
+(``schedule_at``/``schedule_after``/``schedule_soon`` and the
+``timers_cancelled``/``peak_queue_depth`` accessors) so that the current
+``Future``/``Process``/``FifoLink`` code, which now uses the fast
+no-handle scheduling primitives, runs unchanged on this reference clock.
+They are expressed in terms of the original ``call_at`` so the event
+sequence is exactly what the old loop produced.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Optional
+
+from repro.obs import phases as _phases
+from repro.sim.core import Future, Process, SimulationError
+
+__all__ = ["ReferenceSimulator", "ReferenceTimerHandle"]
+
+
+class ReferenceTimerHandle:
+    """Original cancellable handle: ``cancel`` just drops the callback."""
+
+    __slots__ = ("_fn",)
+
+    def __init__(self, fn: Callable[[], None]) -> None:
+        self._fn: Optional[Callable[[], None]] = fn
+
+    def cancel(self) -> None:
+        self._fn = None
+
+    @property
+    def cancelled(self) -> bool:
+        return self._fn is None
+
+
+class ReferenceSimulator:
+    """The pre-optimization deterministic event loop, kept verbatim."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._seq = 0
+        self._queue: list[tuple[float, int, ReferenceTimerHandle]] = []
+        self._events_processed = 0
+
+    # -- clock ------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    # -- scheduling primitives (original implementations) ------------------
+    def call_at(self, when: float, fn: Callable[[], None]) -> ReferenceTimerHandle:
+        if when < self._now - 1e-18:
+            raise SimulationError(
+                f"cannot schedule at {when} before current time {self._now}"
+            )
+        handle = ReferenceTimerHandle(fn)
+        heapq.heappush(self._queue, (max(when, self._now), self._seq, handle))
+        self._seq += 1
+        return handle
+
+    def call_after(self, delay: float, fn: Callable[[], None]) -> ReferenceTimerHandle:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.call_at(self._now + delay, fn)
+
+    def call_soon(self, fn: Callable[[], None]) -> ReferenceTimerHandle:
+        return self.call_at(self._now, fn)
+
+    # -- futures ------------------------------------------------------------
+    def future(self, label: str = "") -> Future:
+        return Future(self, label=label)
+
+    def timeout(self, delay: float, value: Any = None, label: str = "") -> Future:
+        fut = Future(self, label=label or f"timeout({delay:g})")
+        self.call_after(delay, lambda: fut.resolve(value))
+        return fut
+
+    def spawn(self, gen: Generator[Any, Any, Any], label: str = "") -> Process:
+        return Process(self, gen, label=label)
+
+    # -- running -------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        with _phases.measure(_phases.SIM_RUN):
+            return self._run(until)
+
+    def _run(self, until: Optional[float] = None) -> float:
+        while self._queue:
+            when, _, handle = self._queue[0]
+            if handle._fn is None:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and when > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._queue)
+            self._now = when
+            self._events_processed += 1
+            handle._fn()
+        return self._now
+
+    def run_until_complete(self, proc: Future, limit: float = 1e9) -> Any:
+        self.run(until=None if limit is None else self._now + limit)
+        if not proc.done:
+            raise SimulationError(
+                f"deadlock: {proc.label!r} never completed "
+                f"(queue empty at t={self._now:g})"
+            )
+        return proc.value
+
+    # -- adapters for the post-rewrite scheduling API ----------------------
+    # Everything below forwards to the original primitives so workloads
+    # written against the new Simulator surface run on this clock too.
+    def schedule_at(self, when: float, fn: Callable[[], None]) -> None:
+        self.call_at(when, fn)
+
+    def schedule_after(self, delay: float, fn: Callable[[], None]) -> None:
+        self.call_after(delay, fn)
+
+    def schedule_soon(self, fn: Callable[[], None]) -> None:
+        self.call_soon(fn)
+
+    @property
+    def timers_cancelled(self) -> int:
+        # the old loop never tracked cancellations; count live cancelled
+        # heap entries so assertions about "some timers were cancelled"
+        # can still run against the reference
+        return sum(1 for _, _, h in self._queue if h._fn is None)
+
+    @property
+    def peak_queue_depth(self) -> int:
+        return len(self._queue)

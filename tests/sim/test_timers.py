@@ -36,3 +36,95 @@ def test_cancel_is_idempotent(sim):
     handle.cancel()
     assert handle.cancelled
     assert sim.run() == 0.0
+
+
+def test_stale_cancel_cannot_kill_recycled_slot(sim):
+    """A handle whose entry was recycled must not cancel the new tenant."""
+    fired = []
+    stale = sim.call_after(1.0, lambda: fired.append("old"))
+    sim.run()  # fires; its heap slot goes to the free list
+    # the next timer reuses that slot (same list object, new seq)
+    sim.call_after(1.0, lambda: fired.append("new"))
+    stale.cancel()  # must be a no-op on the recycled entry
+    sim.run()
+    assert fired == ["old", "new"]
+
+
+# -- backwards-time guard (relative tolerance at large clock values) --------
+
+
+def test_call_at_tolerates_rounding_at_large_clock(sim):
+    """A few-ulp-in-the-past deadline at t=1e9 clamps instead of raising.
+
+    ``now + dt`` computed by a caller can round to just below ``now``
+    once the clock is large; the guard is relative, so representational
+    noise is forgiven while genuine backwards scheduling still fails.
+    """
+    fired = []
+    sim.call_after(1e9, lambda: None)
+    sim.run()
+    now = sim.now
+    assert now == 1e9
+    # one ulp below now: far inside the relative tolerance
+    just_past = now - now * 1e-16
+    assert just_past < now
+    sim.call_at(just_past, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [now], "clamped to now, not scheduled in the past"
+
+
+def test_call_at_still_rejects_genuinely_past_times(sim):
+    import pytest
+
+    from repro.sim.core import SimulationError
+
+    sim.call_after(1e9, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.call_at(sim.now - 1.0, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule_at(sim.now - 1.0, lambda: None)
+
+
+# -- cancelled-timer accounting and heap compaction -------------------------
+
+
+def test_timers_cancelled_counter(sim):
+    handles = [sim.call_after(10.0 + i, lambda: None) for i in range(5)]
+    assert sim.timers_cancelled == 0
+    for h in handles[:3]:
+        h.cancel()
+    assert sim.timers_cancelled == 3
+    handles[0].cancel()  # idempotent: must not double-count
+    assert sim.timers_cancelled == 3
+    sim.run()
+    assert sim.timers_cancelled == 3
+
+
+def test_mass_cancellation_compacts_heap(sim):
+    """Cancelling a watchdog flood must shrink the live heap, not leak it."""
+    n = 4096
+    handles = [sim.call_after(100.0 + i, lambda: None) for i in range(n)]
+    sim.call_after(1.0, lambda: None)
+    assert len(sim._heap) == n + 1
+    for h in handles:
+        h.cancel()
+    # lazy compaction triggers once cancelled entries dominate the heap
+    assert len(sim._heap) < n // 2, (
+        f"heap kept {len(sim._heap)} entries after cancelling {n}"
+    )
+    assert sim.timers_cancelled == n
+    assert sim.run() == 1.0  # no cancelled deadline dragged the clock
+
+
+def test_peak_queue_depth_and_reset(sim):
+    for i in range(10):
+        sim.call_after(1.0 + i, lambda: None)
+    assert sim.peak_queue_depth == 10
+    sim.run()
+    assert sim.peak_queue_depth == 10
+    sim.reset_peak_depth()
+    assert sim.peak_queue_depth == 0
+    sim.call_after(1.0, lambda: None)
+    sim.run()
+    assert sim.peak_queue_depth == 1
