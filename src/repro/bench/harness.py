@@ -65,19 +65,24 @@ def make_env(
     config: Optional[MpiConfig] = None,
     params: Optional[SystemParams] = None,
     trace: bool = False,
+    sim=None,
 ) -> BenchEnv:
-    """Build one of the paper's four benchmark environments."""
+    """Build one of the paper's four benchmark environments.
+
+    ``sim`` optionally supplies the simulator (the schedule explorer
+    injects a seeded perturbed one); default is a fresh clock per env.
+    """
     if kind == "sm-1gpu":
-        cluster = Cluster(1, 1, params=params, trace=trace)
+        cluster = Cluster(1, 1, params=params, trace=trace, sim=sim)
         placements = [(0, 0), (0, 0)]
     elif kind == "sm-2gpu":
-        cluster = Cluster(1, 2, params=params, trace=trace)
+        cluster = Cluster(1, 2, params=params, trace=trace, sim=sim)
         placements = [(0, 0), (0, 1)]
     elif kind == "ib":
-        cluster = Cluster(2, 1, params=params, trace=trace)
+        cluster = Cluster(2, 1, params=params, trace=trace, sim=sim)
         placements = [(0, 0), (1, 0)]
     elif kind == "cpu":
-        cluster = Cluster(1, 1, params=params, trace=trace)
+        cluster = Cluster(1, 1, params=params, trace=trace, sim=sim)
         placements = [(0, None), (0, None)]
     else:
         raise ValueError(f"unknown environment {kind!r}")

@@ -119,9 +119,13 @@ class Cluster:
         gpus_per_node: int = 2,
         params: Optional[SystemParams] = None,
         trace: bool = False,
+        sim: Optional[Simulator] = None,
     ) -> None:
         self.params = params or k40_cluster()
-        self.sim = Simulator()
+        #: ``sim`` lets a caller supply the clock — the schedule
+        #: explorer (repro.sanitize.verify.explore) injects a seeded
+        #: perturbed simulator; everyone else gets a fresh default
+        self.sim = sim if sim is not None else Simulator()
         #: always a tracer object — a :class:`NullTracer` when disabled —
         #: so consumers never need a None guard
         self.tracer: Tracer = Tracer() if trace else NullTracer()

@@ -56,6 +56,7 @@ from repro.datatype.ddt import Datatype, contiguous, struct
 from repro.datatype.primitives import BYTE, PREDEFINED
 from repro.hw.memory import Buffer
 from repro.mpi.rma import one_sided_move
+from repro.sanitize import runtime as _san
 from repro.sim.core import all_of
 
 if TYPE_CHECKING:
@@ -316,14 +317,25 @@ def bcast(
     if mpi.size == 1:
         return nbytes
     tag = _op_tag("bcast", seq)
-    if algo is CollAlgorithm.STAGED and buf.is_device and nbytes:
-        yield from _bcast_staged(mpi, buf, dt, count, root, tag, nbytes)
-    elif algo is CollAlgorithm.NONBLOCKING:
-        yield from _bcast_flat(mpi, buf, dt, count, root, tag)
-    elif algo is CollAlgorithm.DIRECT:
-        yield from _bcast_direct(mpi, buf, dt, count, root, seq)
-    else:
-        yield from _bcast_binomial(mpi, buf, dt, count, root, tag)
+    _vkey = None
+    if _san.VERIFY is not None:
+        # waits inside the collective inherit "bcast#<seq>/<algo>" as
+        # their detail, so a hang names the exact collective call
+        _vkey = _san.VERIFY.coll_begin(
+            mpi.world, mpi.rank, "bcast", seq, algo.value
+        )
+    try:
+        if algo is CollAlgorithm.STAGED and buf.is_device and nbytes:
+            yield from _bcast_staged(mpi, buf, dt, count, root, tag, nbytes)
+        elif algo is CollAlgorithm.NONBLOCKING:
+            yield from _bcast_flat(mpi, buf, dt, count, root, tag)
+        elif algo is CollAlgorithm.DIRECT:
+            yield from _bcast_direct(mpi, buf, dt, count, root, seq)
+        else:
+            yield from _bcast_binomial(mpi, buf, dt, count, root, tag)
+    finally:
+        if _vkey is not None:
+            _san.VERIFY.coll_end(_vkey)
     return nbytes
 
 
@@ -451,26 +463,35 @@ def gather(
             )
         recv_dt.commit()
     tag = _op_tag("gather", seq)
-    if algo is CollAlgorithm.DIRECT:
-        yield from _gather_direct(
-            mpi, sendbuf, send_dt, send_count,
-            recvbufs, recv_dt, recv_count, root, seq,
+    _vkey = None
+    if _san.VERIFY is not None:
+        _vkey = _san.VERIFY.coll_begin(
+            mpi.world, mpi.rank, "gather", seq, algo.value
         )
-    elif algo is CollAlgorithm.PAIRWISE:
-        yield from _gather_serial(
-            mpi, sendbuf, send_dt, send_count,
-            recvbufs, recv_dt, recv_count, root, tag,
-        )
-    elif algo is CollAlgorithm.STAGED:
-        yield from _gather_staged(
-            mpi, sendbuf, send_dt, send_count,
-            recvbufs, recv_dt, recv_count, root, tag,
-        )
-    else:
-        yield from _gather_linear(
-            mpi, sendbuf, send_dt, send_count,
-            recvbufs, recv_dt, recv_count, root, tag,
-        )
+    try:
+        if algo is CollAlgorithm.DIRECT:
+            yield from _gather_direct(
+                mpi, sendbuf, send_dt, send_count,
+                recvbufs, recv_dt, recv_count, root, seq,
+            )
+        elif algo is CollAlgorithm.PAIRWISE:
+            yield from _gather_serial(
+                mpi, sendbuf, send_dt, send_count,
+                recvbufs, recv_dt, recv_count, root, tag,
+            )
+        elif algo is CollAlgorithm.STAGED:
+            yield from _gather_staged(
+                mpi, sendbuf, send_dt, send_count,
+                recvbufs, recv_dt, recv_count, root, tag,
+            )
+        else:
+            yield from _gather_linear(
+                mpi, sendbuf, send_dt, send_count,
+                recvbufs, recv_dt, recv_count, root, tag,
+            )
+    finally:
+        if _vkey is not None:
+            _san.VERIFY.coll_end(_vkey)
     return nbytes
 
 
@@ -632,22 +653,35 @@ def allgather(
             f"required, got {len(recvbufs)}"
         )
     tag = _op_tag("allgather", seq)
-    if algo is CollAlgorithm.DIRECT:
-        yield from _allgather_direct(
-            mpi, sendbuf, send_dt, send_count, recvbufs, recv_dt, recv_count, seq
+    _vkey = None
+    if _san.VERIFY is not None:
+        _vkey = _san.VERIFY.coll_begin(
+            mpi.world, mpi.rank, "allgather", seq, algo.value
         )
-    elif algo is CollAlgorithm.NONBLOCKING:
-        yield from _allgather_flat(
-            mpi, sendbuf, send_dt, send_count, recvbufs, recv_dt, recv_count, tag
-        )
-    elif algo is CollAlgorithm.STAGED:
-        yield from _allgather_staged(
-            mpi, sendbuf, send_dt, send_count, recvbufs, recv_dt, recv_count, tag
-        )
-    else:
-        yield from _allgather_ring(
-            mpi, sendbuf, send_dt, send_count, recvbufs, recv_dt, recv_count, tag
-        )
+    try:
+        if algo is CollAlgorithm.DIRECT:
+            yield from _allgather_direct(
+                mpi, sendbuf, send_dt, send_count, recvbufs, recv_dt,
+                recv_count, seq,
+            )
+        elif algo is CollAlgorithm.NONBLOCKING:
+            yield from _allgather_flat(
+                mpi, sendbuf, send_dt, send_count, recvbufs, recv_dt,
+                recv_count, tag,
+            )
+        elif algo is CollAlgorithm.STAGED:
+            yield from _allgather_staged(
+                mpi, sendbuf, send_dt, send_count, recvbufs, recv_dt,
+                recv_count, tag,
+            )
+        else:
+            yield from _allgather_ring(
+                mpi, sendbuf, send_dt, send_count, recvbufs, recv_dt,
+                recv_count, tag,
+            )
+    finally:
+        if _vkey is not None:
+            _san.VERIFY.coll_end(_vkey)
     return nbytes * mpi.size
 
 
@@ -870,31 +904,38 @@ def _alltoall_common(
     seq = _bump_seq(mpi, op)
     _count_call(mpi, op, algo, nbytes)
     tag = _op_tag(op, seq)
-    if algo is CollAlgorithm.PAIRWISE:
-        yield from _a2av_pairwise(
-            mpi, sendbufs, send_dt, send_counts,
-            recvbufs, recv_dt, recv_counts, tag,
-        )
-    elif algo is CollAlgorithm.STAGED:
-        yield from _a2av_staged(
-            mpi, sendbufs, send_dt, send_counts,
-            recvbufs, recv_dt, recv_counts, tag,
-        )
-    elif algo is CollAlgorithm.DIRECT:
-        yield from _a2av_direct(
-            mpi, op, sendbufs, send_dt, send_counts,
-            recvbufs, recv_dt, recv_counts, seq,
-        )
-    elif algo is CollAlgorithm.HIERARCHICAL:
-        yield from _a2av_hierarchical(
-            mpi, op, sendbufs, send_dt, send_counts,
-            recvbufs, recv_dt, recv_counts, seq,
-        )
-    else:
-        yield from _a2av_flat(
-            mpi, sendbufs, send_dt, send_counts,
-            recvbufs, recv_dt, recv_counts, tag,
-        )
+    _vkey = None
+    if _san.VERIFY is not None:
+        _vkey = _san.VERIFY.coll_begin(mpi.world, mpi.rank, op, seq, algo.value)
+    try:
+        if algo is CollAlgorithm.PAIRWISE:
+            yield from _a2av_pairwise(
+                mpi, sendbufs, send_dt, send_counts,
+                recvbufs, recv_dt, recv_counts, tag,
+            )
+        elif algo is CollAlgorithm.STAGED:
+            yield from _a2av_staged(
+                mpi, sendbufs, send_dt, send_counts,
+                recvbufs, recv_dt, recv_counts, tag,
+            )
+        elif algo is CollAlgorithm.DIRECT:
+            yield from _a2av_direct(
+                mpi, op, sendbufs, send_dt, send_counts,
+                recvbufs, recv_dt, recv_counts, seq,
+            )
+        elif algo is CollAlgorithm.HIERARCHICAL:
+            yield from _a2av_hierarchical(
+                mpi, op, sendbufs, send_dt, send_counts,
+                recvbufs, recv_dt, recv_counts, seq,
+            )
+        else:
+            yield from _a2av_flat(
+                mpi, sendbufs, send_dt, send_counts,
+                recvbufs, recv_dt, recv_counts, tag,
+            )
+    finally:
+        if _vkey is not None:
+            _san.VERIFY.coll_end(_vkey)
     return nbytes
 
 

@@ -30,6 +30,7 @@ class Communicator:
     def __init__(self, world: "MpiWorld", comm_id: int = 0) -> None:
         self.world = world
         self.comm_id = comm_id
+        self.freed = False
 
     @property
     def size(self) -> int:
@@ -38,6 +39,21 @@ class Communicator:
     def dup(self) -> "Communicator":
         """A new communicator with the same group, fresh context id."""
         return Communicator(self.world, next(_context_ids))
+
+    def free(self) -> None:
+        """Release the context id (``MPI_Comm_free``).
+
+        Resources held on the communicator's behalf — e.g. DevCache
+        entries pinned with its context id — must be released *before*
+        the free: the verifier's finalize audit flags pins that outlive
+        their communicator (``verify.cache_pin_leak``).  Idempotent;
+        COMM_WORLD cannot be freed.
+        """
+        if self.comm_id == 0:
+            raise ValueError("COMM_WORLD cannot be freed")
+        if not self.freed:
+            self.freed = True
+            self.world._comm_freed(self.comm_id)
 
     def __repr__(self) -> str:
         tag = "WORLD" if self.comm_id == 0 else f"ctx{self.comm_id}"

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Any, Optional
 
 from repro.mpi.message import Envelope
+from repro.sanitize import runtime as _san
 from repro.sim.core import Future
 
 __all__ = ["PostedRecv", "MatchingEngine"]
@@ -74,6 +75,8 @@ class MatchingEngine:
 
     def _deliver(self, env: Envelope, arrival: Any) -> Optional[PostedRecv]:
         """Match an in-order arrival against posted receives, or queue it."""
+        if _san.VERIFY is not None:
+            _san.VERIFY.on_deliver(self, env)
         for i, post in enumerate(self._posted):
             if env.matches(post.source, post.tag) and env.comm_id == post.comm_id:
                 del self._posted[i]
@@ -89,7 +92,36 @@ class MatchingEngine:
         The unexpected queue is scanned in delivery order — :meth:`arrive`
         re-sequences stamped arrivals before queueing, so list order *is*
         send order per source, preserving MPI's non-overtaking rule.
+
+        A wildcard receive facing unexpected messages from *several*
+        sources is a genuine MPI nondeterminism: per-source order is
+        fixed, the inter-source choice is not.  The verifier's explorer
+        perturbs exactly that choice (``match_choice``); default is the
+        deterministic earliest delivery.
         """
+        verify = _san.VERIFY
+        if (
+            verify is not None
+            and verify.match_choice is not None
+            and post.source < 0
+        ):
+            seen: set = set()
+            candidates: list[int] = []
+            for i, (env, arrival) in enumerate(self._unexpected):
+                if (
+                    env.matches(post.source, post.tag)
+                    and env.comm_id == post.comm_id
+                    and env.source not in seen
+                ):
+                    seen.add(env.source)
+                    candidates.append(i)
+            if candidates:
+                i = verify.on_match_choice(self, post, candidates)
+                env, arrival = self._unexpected[i]
+                del self._unexpected[i]
+                post.on_match.resolve(arrival)
+                return arrival
+            # fall through: nothing eligible, post normally
         for i, (env, arrival) in enumerate(self._unexpected):
             if env.matches(post.source, post.tag) and env.comm_id == post.comm_id:
                 del self._unexpected[i]

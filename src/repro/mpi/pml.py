@@ -296,6 +296,8 @@ def isend_coro(
     cts_box = Mailbox(proc.sim, name=f"{tid}.cts")
     proc.register_handler(f"x{tid}.s.cts", lambda pkt, _b: cts_box.put(pkt))
     state.bind_inbox("done")
+    _ver = _san.VERIFY
+    _vtok = None
     try:
         btl.am_send(
             "pml.rts",
@@ -308,7 +310,18 @@ def isend_coro(
             },
             envelope=env,
         )
+        if _ver is not None:
+            # the classic rendezvous hang: RTS out, no matching receive
+            # ever posts, the CTS never comes — register the wait so a
+            # drained event loop can name this exact send
+            _vtok = _ver.wait_begin(
+                "cts", proc.rank, proc.sim, peer=dest, tag=tag,
+                comm_id=comm_id, detail=f"rendezvous send {total}B",
+                world=world,
+            )
         cts_pkt = yield cts_box.get()
+        if _ver is not None:
+            _ver.wait_end(_vtok)
         protocol = cts_pkt.header["protocol"]
         state.stats.protocol = protocol
         r_info: SideInfo = cts_pkt.header["side"]
@@ -318,6 +331,8 @@ def isend_coro(
             state.stats.fragments = 1
         proc.record_transfer(state.stats)
     finally:
+        if _ver is not None:
+            _ver.wait_end(_vtok)  # idempotent (exception paths)
         state.close()  # cancel any outstanding retransmit watchdogs
         proc.unregister_handler(f"x{tid}.s.cts")
         state.unbind_all("done")
@@ -344,10 +359,25 @@ def irecv_coro(
     proc.matching.post(
         PostedRecv(source=source, tag=tag, comm_id=comm_id, on_match=on_match)
     )
-    env, header, payload, sender_rank = yield on_match
-    status = yield from _matched_recv_coro(
-        world, proc, buf, dt, count, env, header, payload, sender_rank
-    )
+    _ver = _san.VERIFY
+    _vtok = None
+    if _ver is not None:
+        # the wait spans post -> completion: an unmatched post *and* a
+        # protocol stalled mid-transfer both surface as this receive
+        _vtok = _ver.wait_begin(
+            "recv", proc.rank, proc.sim,
+            peer=None if source < 0 else source,
+            tag=None if tag < 0 else tag,
+            comm_id=comm_id, world=world,
+        )
+    try:
+        env, header, payload, sender_rank = yield on_match
+        status = yield from _matched_recv_coro(
+            world, proc, buf, dt, count, env, header, payload, sender_rank
+        )
+    finally:
+        if _ver is not None:
+            _ver.wait_end(_vtok)
     return status
 
 
@@ -655,4 +685,13 @@ def eager_irecv_fast(
     proc.matching.post(
         PostedRecv(source=source, tag=tag, comm_id=comm_id, on_match=on_match)
     )
+    _ver = _san.VERIFY
+    if _ver is not None:
+        _vtok = _ver.wait_begin(
+            "recv", proc.rank, sim,
+            peer=None if source < 0 else source,
+            tag=None if tag < 0 else tag,
+            comm_id=comm_id, world=world,
+        )
+        result.add_callback(lambda _f: _ver.wait_end(_vtok))
     return result

@@ -20,12 +20,14 @@ ranks, like ``MPI_Win_fence``.
 from __future__ import annotations
 
 import itertools
+import weakref
 from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.cuda.ipc import IpcMemHandle
 from repro.datatype.ddt import Datatype
 from repro.hw.memory import Buffer
 from repro.mpi.protocols.common import CpuSideJob
+from repro.sanitize import runtime as _san
 from repro.sim.core import all_of
 
 if TYPE_CHECKING:
@@ -45,15 +47,43 @@ class RmaWindow:
         self.world = world
         self.buffers = list(buffers)
         self.win_id = next(_win_ids)
+        self.freed = False
         # per-origin-rank outstanding operations (completed by fence)
         self._pending: dict[int, list] = {r: [] for r in range(world.size)}
+        # the verifier's finalize audit flags windows never freed; a
+        # weakref keeps the registry from pinning dead windows alive
+        world._rma_windows.append(weakref.ref(self))
+
+    def free(self) -> None:
+        """Release the window (``MPI_Win_free``).  Idempotent.
+
+        Freeing with unfenced operations outstanding is an error — real
+        MPI requires all RMA to be completed by a synchronization call
+        before the free.
+        """
+        pending = sum(len(v) for v in self._pending.values())
+        if pending:
+            raise RuntimeError(
+                f"RmaWindow w{self.win_id} freed with {pending} "
+                f"unfenced operation(s)"
+            )
+        self.freed = True
 
     # -- access epoch ------------------------------------------------------
     def fence(self, mpi: "RankContext"):
         """Coroutine: complete local RMA ops, then synchronize all ranks."""
         pending = self._pending[mpi.rank]
         if pending:
+            _vtok = None
+            if _san.VERIFY is not None:
+                _vtok = _san.VERIFY.wait_begin(
+                    "fence", mpi.rank, mpi.sim,
+                    detail=f"w{self.win_id}: {len(pending)} pending op(s)",
+                    world=self.world,
+                )
             yield all_of(mpi.sim, pending)
+            if _san.VERIFY is not None:
+                _san.VERIFY.wait_end(_vtok)
             pending.clear()
         yield mpi.barrier()
 

@@ -139,6 +139,14 @@ class MpiWorld:
         self._barrier_waiters: list[Future] = []
         self._barrier_arrived = 0
         self._barrier_snap: Optional[dict] = None
+        #: verifier bookkeeping (see repro.sanitize.verify): requests
+        #: tracked for the finalize audit (populated only while the
+        #: verifier is installed), weakrefs to every RMA window built
+        #: over this world, barrier wait tokens, and freed context ids
+        self._verify_requests: list[Request] = []
+        self._barrier_toks: list[int] = []
+        self._rma_windows: list = []
+        self._freed_comms: set[int] = set()
         #: simulator-counter baselines for the current stats window — the
         #: shared clock may predate (or outlive) this world, so ``stats()``
         #: reports deltas from here rather than the simulator's lifetime
@@ -211,6 +219,28 @@ class MpiWorld:
         self._run_wall_s += _time.perf_counter() - wall0
         self._sim_elapsed_s += elapsed
         return elapsed
+
+    def finalize(self) -> list:
+        """``MPI_Finalize``-style teardown audit (verifier-gated).
+
+        With the verifier installed (``REPRO_SANITIZE=verify``/``all``),
+        audits the world for leaked resources — never-completed requests,
+        unmatched posted receives, undrained unexpected messages, open
+        re-sequencer gaps, unfreed RMA windows, DevCache entries pinned
+        past their communicator — recording each finding as a
+        ``verify.*`` violation (raising on the first one in raise mode)
+        and bumping ``verify.audit.*`` world metrics.  Returns the
+        findings; a no-op returning ``[]`` when the verifier is off.
+        """
+        if _san.VERIFY is None:
+            return []
+        from repro.sanitize.verify.audit import audit_world
+
+        return audit_world(self, _san.VERIFY)
+
+    def _comm_freed(self, comm_id: int) -> None:
+        """Record a freed context id (the pin audit checks against it)."""
+        self._freed_comms.add(comm_id)
 
     # -- observability ---------------------------------------------------------
     def stats(self) -> WorldStats:
@@ -293,6 +323,12 @@ class MpiWorld:
         fut = Future(self.sim, label="barrier")
         self._barrier_waiters.append(fut)
         self._barrier_arrived += 1
+        if _san.VERIFY is not None:
+            # the waiter Future has __slots__, so tokens ride a parallel
+            # list; the release below ends every registered wait at once
+            self._barrier_toks.append(
+                _san.VERIFY.wait_begin("barrier", _rank, self.sim, world=self)
+            )
         if _san.RACE is not None:
             # a barrier is an all-to-all happens-before edge: every rank's
             # pre-barrier work precedes every rank's post-barrier work.
@@ -305,6 +341,10 @@ class MpiWorld:
         if self._barrier_arrived == self.size:
             waiters, self._barrier_waiters = self._barrier_waiters, []
             self._barrier_arrived = 0
+            if _san.VERIFY is not None:
+                for tok in self._barrier_toks:
+                    _san.VERIFY.wait_end(tok)
+                self._barrier_toks.clear()
             if _san.RACE is not None:
                 snap = self._barrier_snap
                 self._barrier_snap = None
@@ -381,7 +421,13 @@ class RankContext:
                 self.world, self.proc, buf, datatype, count, dest, tag,
                 comm_id=comm_id,
             )
-            return Request(fut, "send", nbytes)
+            req = Request(fut, "send", nbytes)
+            if _san.VERIFY is not None:
+                _san.VERIFY.track_request(
+                    self.world, req, self.rank, "send", dest, tag, comm_id,
+                    nbytes,
+                )
+            return req
         labels = self.proc._isend_labels
         label = labels.get(dest)
         if label is None:
@@ -394,7 +440,12 @@ class RankContext:
             label=label,
             eager_start=True,
         )
-        return Request(proc, "send", nbytes)
+        req = Request(proc, "send", nbytes)
+        if _san.VERIFY is not None:
+            _san.VERIFY.track_request(
+                self.world, req, self.rank, "send", dest, tag, comm_id, nbytes
+            )
+        return req
 
     def irecv(
         self,
@@ -413,7 +464,13 @@ class RankContext:
                 self.world, self.proc, buf, datatype, count, source, tag,
                 comm_id=comm_id,
             )
-            return Request(fut, "recv", nbytes)
+            req = Request(fut, "recv", nbytes)
+            if _san.VERIFY is not None:
+                _san.VERIFY.track_request(
+                    self.world, req, self.rank, "recv", source, tag, comm_id,
+                    nbytes,
+                )
+            return req
         labels = self.proc._irecv_labels
         label = labels.get(source)
         if label is None:
@@ -426,7 +483,13 @@ class RankContext:
             label=label,
             eager_start=True,
         )
-        return Request(proc, "recv", nbytes)
+        req = Request(proc, "recv", nbytes)
+        if _san.VERIFY is not None:
+            _san.VERIFY.track_request(
+                self.world, req, self.rank, "recv", source, tag, comm_id,
+                nbytes,
+            )
+        return req
 
     # blocking forms are pure aliases (``yield mpi.send(...)`` waits via the
     # returned Request) — class-level bindings skip a delegation frame on

@@ -1,6 +1,6 @@
 """``repro.sanitize`` — correctness tooling for the simulated GPU/MPI stack.
 
-Four coordinated checkers, all **off by default** (the instrumented hot
+Five coordinated checkers, all **off by default** (the instrumented hot
 paths test a single module global and do nothing):
 
 * :class:`~repro.sanitize.memsan.MemorySanitizer` — ASan-style shadow
@@ -12,6 +12,10 @@ paths test a single module global and do nothing):
 * :class:`~repro.sanitize.devcheck.DevValidator` — every DEV/CUDA_DEV
   work list must partition the packed typemap; cache hits must match a
   fresh build.
+* :class:`~repro.sanitize.verify.Verifier` — MPI-semantics verifier:
+  wait-for-graph deadlock diagnosis when the event loop goes idle,
+  pair_seq non-overtaking asserts at the matching engine, and the
+  finalize-time resource audit (``MpiWorld.finalize``).
 * :mod:`repro.sanitize.lint` — standalone AST lint
   (``python -m repro.sanitize.lint``) for project invariants.
 
@@ -78,6 +82,7 @@ def enable(
         _report.metrics = metrics
 
     mem, race, dev = runtime.MEM, runtime.RACE, runtime.DEV
+    verify = runtime.VERIFY
     if options.memory and mem is None:
         from repro.sanitize.memsan import MemorySanitizer
 
@@ -90,7 +95,15 @@ def enable(
         from repro.sanitize.devcheck import DevValidator
 
         dev = DevValidator(_report)
-    runtime.install(mem=mem, race=race, dev=dev)
+    if options.verify and verify is None:
+        from repro.sanitize.verify import Verifier
+
+        verify = Verifier(_report)
+    if verify is not None:
+        # the report can be swapped by enabled(); keep the verifier's sink
+        # pointed at whichever report is current
+        verify.report = _report
+    runtime.install(mem=mem, race=race, dev=dev, verify=verify)
     return _report
 
 

@@ -1,0 +1,10 @@
+"""``python -m repro.sanitize.explore`` — schedule-perturbation explorer.
+
+Thin entry point; the implementation lives in
+:mod:`repro.sanitize.verify.explore`.
+"""
+
+from repro.sanitize.verify.explore import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

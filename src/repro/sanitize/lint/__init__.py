@@ -30,6 +30,24 @@ Three rules, each guarding an invariant the simulation depends on:
     identity-keyed DevCache bug) and leaks construction order into
     output.  Use :func:`repro.datatype.canonical.canonical_key` for
     cache identity and ``display_id`` for human-readable ids.
+
+``SAN-L005`` **blocking self-send** (everywhere scanned): no
+    ``yield x.send(..., dest=<own rank>)`` (or directly-yielded
+    ``isend``).  A blocking send to yourself is a wait-for self-cycle:
+    over the eager limit the rendezvous CTS never comes, because the
+    rank that must post the matching receive is blocked in the send —
+    the runtime verifier reports it as a one-rank deadlock cycle.
+    Issue the isend first, post the receive, then wait the request
+    (cf. ``_gather_linear`` / ``_allgather_ring`` in
+    ``repro/mpi/collectives.py``).
+
+``SAN-L006`` **dropped request** (everywhere scanned): the
+    :class:`~repro.mpi.requests.Request` returned by ``isend`` /
+    ``irecv`` must be waited.  A request discarded as a bare expression
+    statement, or bound to a name that is never read again, can never
+    be completed-checked — exactly the leak the finalize-time audit
+    (``MpiWorld.finalize``) flags at runtime as
+    ``verify.request_leak``; this rule catches the shape statically.
 """
 
 from __future__ import annotations
@@ -94,6 +112,124 @@ def _dotted(node: ast.AST) -> str:
 
 def _norm(path: str) -> str:
     return path.replace(os.sep, "/")
+
+
+def _call_attr(node: ast.AST) -> str:
+    """The method name of an ``x.method(...)`` call ('' otherwise)."""
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return ""
+
+
+def _call_arg(call: ast.Call, kw: str, pos: int):
+    """Keyword ``kw`` of ``call``, falling back to positional ``pos``."""
+    for k in call.keywords:
+        if k.arg == kw:
+            return k.value
+    if len(call.args) > pos:
+        return call.args[pos]
+    return None
+
+
+def _own_nodes(fn: ast.AST):
+    """Every node of ``fn``'s body excluding nested function/lambda bodies."""
+    stack = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def _lint_requests(path: str, tree: ast.AST) -> list:
+    """SAN-L005 / SAN-L006: per-function request-discipline checks."""
+    out: list = []
+    for fn in ast.walk(tree):
+        if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        # names bound from ``<x>.rank`` count as "own rank" for SAN-L005
+        self_ranks = set()
+        for node in _own_nodes(fn):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Attribute)
+                and node.value.attr == "rank"
+            ):
+                self_ranks.add(node.targets[0].id)
+        #: (name, line) of requests bound to a never-read name
+        pending: list = []
+        for node in _own_nodes(fn):
+            if isinstance(node, ast.Expr):
+                val = node.value
+                if _call_attr(val) in ("isend", "irecv"):
+                    out.append(
+                        LintViolation(
+                            path,
+                            node.lineno,
+                            "SAN-L006",
+                            f"the Request returned by .{val.func.attr}() is "
+                            f"discarded — it can never be waited or "
+                            f"completion-checked (the finalize audit flags "
+                            f"this at runtime as verify.request_leak); bind "
+                            f"it and yield/wait_all it",
+                        )
+                    )
+                elif isinstance(val, ast.Yield) and _call_attr(val.value) in (
+                    "send",
+                    "isend",
+                ):
+                    dest = _call_arg(val.value, "dest", 3)
+                    is_self = (
+                        isinstance(dest, ast.Attribute) and dest.attr == "rank"
+                    ) or (isinstance(dest, ast.Name) and dest.id in self_ranks)
+                    if is_self:
+                        out.append(
+                            LintViolation(
+                                path,
+                                node.lineno,
+                                "SAN-L005",
+                                "blocking send to own rank: a rendezvous "
+                                "self-send deadlocks — the rank that must "
+                                "post the matching receive is blocked in "
+                                "this send (a wait-for self-cycle); isend "
+                                "first, recv, then wait the request (cf. "
+                                "repro/mpi/collectives.py _gather_linear)",
+                            )
+                        )
+            elif (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and _call_attr(node.value) in ("isend", "irecv")
+            ):
+                pending.append(
+                    (node.targets[0].id, node.lineno, node.value.func.attr)
+                )
+        if pending:
+            # loads anywhere in the function (closures included) count
+            loads = {
+                n.id
+                for n in ast.walk(fn)
+                if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load)
+            }
+            for name, line, attr in pending:
+                if name not in loads:
+                    out.append(
+                        LintViolation(
+                            path,
+                            line,
+                            "SAN-L006",
+                            f"Request {name!r} from .{attr}() is never read "
+                            f"again — it can never be waited or "
+                            f"completion-checked (the finalize audit flags "
+                            f"this at runtime as verify.request_leak)",
+                        )
+                    )
+    return out
 
 
 def lint_file(path: str, source: str, metric_sites: dict) -> list:
@@ -187,6 +323,7 @@ def lint_file(path: str, source: str, metric_sites: dict) -> list:
                         "iterate a sorted() or list/dict instead",
                     )
                 )
+    out.extend(_lint_requests(path, tree))
     return out
 
 
@@ -212,7 +349,12 @@ def _metric_conflicts(metric_sites: dict) -> list:
 
 
 def iter_py_files(paths) -> list:
-    """Expand files/directories into a sorted list of .py files."""
+    """Expand files/directories into a sorted list of .py files.
+
+    Nonexistent paths are passed through rather than dropped, so
+    :func:`run_lint` reports them as ``SAN-L000`` and the CLI exits
+    non-zero — a typo'd path must not read as a clean scan.
+    """
     files = []
     for p in paths:
         if os.path.isdir(p):
@@ -221,7 +363,7 @@ def iter_py_files(paths) -> list:
                 for n in sorted(names):
                     if n.endswith(".py"):
                         files.append(os.path.join(root, n))
-        elif p.endswith(".py"):
+        elif p.endswith(".py") or not os.path.exists(p):
             files.append(p)
     return files
 

@@ -1,27 +1,98 @@
 """CLI: ``python -m repro.sanitize.lint [paths...]`` (default: ``src``).
 
-Prints one ``path:line: CODE message`` line per violation and exits 1 if
-any were found — suitable as a CI gate.
+Exits 1 if any violation was found — suitable as a CI gate.  Output
+formats (``--format``):
+
+* ``text`` (default) — one ``path:line: CODE message`` per violation;
+* ``json`` — a machine-readable report on stdout;
+* ``github`` — GitHub Actions workflow annotations
+  (``::error file=...,line=...``), so violations surface inline on the
+  pull-request diff.
+
+Nonexistent or unreadable paths surface as ``SAN-L000`` violations and
+fail the run — a typo'd path must not read as a clean scan.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import sys
 
 from repro.sanitize.lint import run_lint
 
 
-def main(argv=None) -> int:
-    """Run the lint over ``argv`` paths (default ``src``); 0 = clean."""
-    args = list(sys.argv[1:] if argv is None else argv)
-    paths = args or ["src"]
-    violations = run_lint(paths)
+def _emit_text(violations) -> None:
     for v in violations:
         print(v)
+
+
+def _emit_json(violations, paths) -> None:
+    json.dump(
+        {
+            "paths": list(paths),
+            "violations": [
+                {
+                    "path": v.path,
+                    "line": v.line,
+                    "code": v.code,
+                    "message": v.message,
+                }
+                for v in violations
+            ],
+            "count": len(violations),
+            "ok": not violations,
+        },
+        sys.stdout,
+        indent=2,
+    )
+    print()
+
+
+def _emit_github(violations) -> None:
+    for v in violations:
+        # annotation message text must be single-line; %0A encodes '\n'
+        msg = v.message.replace("%", "%25").replace("\n", "%0A")
+        print(
+            f"::error file={v.path},line={v.line},title={v.code}::{msg}"
+        )
+
+
+def main(argv=None) -> int:
+    """Run the lint over the given paths (default ``src``); 0 = clean."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sanitize.lint",
+        description="Project AST lint (stdlib-only); see docs/SANITIZERS.md.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], help="files/dirs (default: src)"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "github"),
+        default="text",
+        help="output format (default: text)",
+    )
+    args = parser.parse_args(argv)
+    violations = run_lint(args.paths)
+
+    if args.format == "json":
+        _emit_json(violations, args.paths)
+    elif args.format == "github":
+        _emit_github(violations)
+    else:
+        _emit_text(violations)
+
     if violations:
-        print(f"repro.sanitize.lint: {len(violations)} violation(s)", file=sys.stderr)
+        print(
+            f"repro.sanitize.lint: {len(violations)} violation(s)",
+            file=sys.stderr,
+        )
         return 1
-    print(f"repro.sanitize.lint: clean ({len(paths)} path(s) scanned)")
+    if args.format == "text":
+        print(
+            f"repro.sanitize.lint: clean ({len(args.paths)} path(s) scanned)"
+        )
     return 0
 
 

@@ -6,7 +6,8 @@ without an import cycle.  The environment contract:
 
 ``REPRO_SANITIZE``
     ``all`` / ``1`` — every checker on; a comma list of ``mem``, ``race``,
-    ``dev`` — that subset; empty / ``0`` / ``off`` — disabled (default).
+    ``dev``, ``verify`` — that subset; empty / ``0`` / ``off`` — disabled
+    (default).
 
 ``REPRO_SANITIZE_MODE``
     ``raise`` (default) — the first violation raises
@@ -24,7 +25,13 @@ __all__ = ["SanitizeOptions", "ENV_VAR", "ENV_MODE_VAR"]
 ENV_VAR = "REPRO_SANITIZE"
 ENV_MODE_VAR = "REPRO_SANITIZE_MODE"
 
-_NAMES = {"mem": "memory", "memory": "memory", "race": "race", "dev": "dev"}
+_NAMES = {
+    "mem": "memory",
+    "memory": "memory",
+    "race": "race",
+    "dev": "dev",
+    "verify": "verify",
+}
 
 
 @dataclass(frozen=True)
@@ -34,6 +41,7 @@ class SanitizeOptions:
     memory: bool = False
     race: bool = False
     dev: bool = False
+    verify: bool = False
     mode: str = "raise"  # "raise" | "record"
 
     def __post_init__(self) -> None:
@@ -44,22 +52,22 @@ class SanitizeOptions:
 
     @property
     def any_enabled(self) -> bool:
-        return self.memory or self.race or self.dev
+        return self.memory or self.race or self.dev or self.verify
 
     @classmethod
     def all(cls, mode: str = "raise") -> "SanitizeOptions":
         """Every checker on."""
-        return cls(memory=True, race=True, dev=True, mode=mode)
+        return cls(memory=True, race=True, dev=True, verify=True, mode=mode)
 
     @classmethod
     def parse(cls, spec: str, mode: str = "raise") -> "SanitizeOptions":
-        """Parse a checker spec: 'all'/'1', 'off'/'0'/'', or 'mem,race,dev'."""
+        """Parse a checker spec: 'all'/'1', 'off'/'0'/'', or 'mem,race,dev,verify'."""
         raw = spec.strip().lower()
         if not raw or raw in ("0", "off", "none", "false"):
             return cls(mode=mode)
         if raw in ("all", "1", "on", "true"):
             return cls.all(mode=mode)
-        fields = {"memory": False, "race": False, "dev": False}
+        fields = {"memory": False, "race": False, "dev": False, "verify": False}
         for part in raw.split(","):
             part = part.strip()
             if not part:
@@ -68,7 +76,7 @@ class SanitizeOptions:
             if name is None:
                 raise ValueError(
                     f"sanitize spec {raw!r}: unknown checker {part!r} "
-                    f"(expected mem, race, dev, or all)"
+                    f"(expected mem, race, dev, verify, or all)"
                 )
             fields[name] = True
         return cls(mode=mode, **fields)

@@ -27,6 +27,10 @@ MEM: Optional[object] = None
 RACE: Optional[object] = None
 #: DEV/CUDA_DEV work-list validator (:class:`repro.sanitize.devcheck.DevValidator`)
 DEV: Optional[object] = None
+#: MPI-semantics verifier (:class:`repro.sanitize.verify.Verifier`):
+#: wait-for-graph deadlock detection, non-overtaking asserts, and the
+#: finalize-time resource audit
+VERIFY: Optional[object] = None
 
 #: callbacks invoked with ``RACE is not None`` on every install/clear —
 #: lets hot modules swap between fast and instrumented method bindings
@@ -36,7 +40,12 @@ _listeners: list = []
 
 def active() -> bool:
     """True when any checker is installed."""
-    return MEM is not None or RACE is not None or DEV is not None
+    return (
+        MEM is not None
+        or RACE is not None
+        or DEV is not None
+        or VERIFY is not None
+    )
 
 
 def subscribe(fn) -> None:
@@ -49,10 +58,10 @@ def subscribe(fn) -> None:
     fn(RACE is not None)
 
 
-def install(mem=None, race=None, dev=None) -> None:
+def install(mem=None, race=None, dev=None, verify=None) -> None:
     """Install checker instances (None leaves a slot empty)."""
-    global MEM, RACE, DEV
-    MEM, RACE, DEV = mem, race, dev
+    global MEM, RACE, DEV, VERIFY
+    MEM, RACE, DEV, VERIFY = mem, race, dev, verify
     race_active = race is not None
     for fn in _listeners:
         fn(race_active)
@@ -60,12 +69,12 @@ def install(mem=None, race=None, dev=None) -> None:
 
 def clear() -> None:
     """Remove every installed checker."""
-    install(None, None, None)
+    install(None, None, None, None)
 
 
 def snapshot() -> tuple:
-    """The current (MEM, RACE, DEV) triple — for save/restore in tests."""
-    return (MEM, RACE, DEV)
+    """The current (MEM, RACE, DEV, VERIFY) tuple — for save/restore in tests."""
+    return (MEM, RACE, DEV, VERIFY)
 
 
 def restore(saved: tuple) -> None:

@@ -1,0 +1,176 @@
+"""Finalize-time resource audit — layer 2 of the MPI verifier.
+
+:meth:`repro.mpi.world.MpiWorld.finalize` calls :func:`audit_world` when
+the verifier is installed.  Like ``MPI_Finalize``'s "all pending
+communication must be completed" rule, a clean program reaches teardown
+with nothing outstanding; everything still live is a finding:
+
+``verify.request_leak``
+    A tracked isend/irecv request that never completed (e.g. a
+    rendezvous send whose matching receive was never posted — the CTS
+    never comes, but the world's root process can still finish, so the
+    run "succeeds" with a zombie send parked forever).
+``verify.recv_unmatched``
+    A posted receive still sitting in a matching engine.
+``verify.unexpected_message``
+    A delivered message no receive ever consumed.
+``verify.seq_gap``
+    Out-of-order arrivals still held by the re-sequencer — the gap
+    (a dropped or never-sent pair_seq) never closed.
+``verify.window_leak``
+    An :class:`~repro.mpi.rma.RmaWindow` never freed.
+``verify.barrier_incomplete``
+    Ranks left waiting inside the scaffolding barrier.
+``verify.cache_pin_leak``
+    DevCache entries still pinned at teardown — including pins whose
+    communicator was already freed (pinned *past* their communicator).
+
+Every finding also bumps a ``verify.audit.<kind>`` counter (plus
+``verify.audit.findings``) in ``world.metrics``, so the audit surfaces
+in :meth:`~repro.mpi.world.MpiWorld.stats` snapshots and the Perfetto
+export alongside every other world metric.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["audit_world"]
+
+
+def _key_label(key: tuple) -> str:
+    """Short stable label for a DevCache canonical key: ``kind/1a2b3c4d``."""
+    digest = hashlib.blake2b(repr(key).encode(), digest_size=4).hexdigest()
+    kind = key[0][0] if key and key[0] else "?"
+    return f"{kind}/{digest}"
+
+
+def _count(world, kind: str) -> None:
+    world.metrics.counter("verify.audit.findings").inc()
+    world.metrics.counter(f"verify.audit.{kind}").inc()
+
+
+def audit_world(world, verifier) -> list:
+    """Audit one world at teardown; records and returns the findings.
+
+    In ``raise`` mode the first finding raises
+    :class:`~repro.sanitize.report.SanitizerError` (finalize acts as an
+    assertion); in ``record`` mode everything is collected and returned.
+    """
+    found: list = []
+    report = verifier.report
+    now = getattr(world.sim, "now", None)
+
+    def rec(code: str, kind: str, message: str, where: str) -> None:
+        _count(world, kind)
+        found.append(
+            report.record("verify", code, message, where=where, time_s=now)
+        )
+
+    # -- never-completed requests -----------------------------------------
+    for req in world._verify_requests:
+        if req.done:
+            continue
+        info = getattr(req, "_verify_info", None)
+        if info is None:
+            rec(
+                "verify.request_leak",
+                "request_leak",
+                f"{req!r} never completed",
+                "finalize",
+            )
+            continue
+        rank, kind, peer, tag, comm_id, nbytes = info
+        direction = "to" if kind == "send" else "from"
+        rec(
+            "verify.request_leak",
+            "request_leak",
+            f"rank {rank} {kind} {direction} r{peer} (tag={tag}, "
+            f"comm={comm_id}, {nbytes}B) never completed",
+            f"r{rank}",
+        )
+
+    # -- matching-engine residue -------------------------------------------
+    for proc in world.procs.materialized():
+        eng = proc.matching
+        for post in eng._posted:
+            src = "ANY" if post.source < 0 else post.source
+            rec(
+                "verify.recv_unmatched",
+                "recv_unmatched",
+                f"rank {proc.rank} posted receive (source={src}, "
+                f"tag={post.tag}, comm={post.comm_id}) never matched",
+                f"r{proc.rank}",
+            )
+        for env, _arrival in eng._unexpected:
+            rec(
+                "verify.unexpected_message",
+                "unexpected_message",
+                f"rank {proc.rank} holds an unexpected message from "
+                f"r{env.source} (tag={env.tag}, comm={env.comm_id}, "
+                f"pair_seq={env.pair_seq}) no receive consumed",
+                f"r{proc.rank}",
+            )
+        for (src, comm_id), pending in eng._held.items():
+            if not pending:
+                continue
+            want = eng._next_pair.get((src, comm_id), 0)
+            rec(
+                "verify.seq_gap",
+                "seq_gap",
+                f"rank {proc.rank} held out-of-order arrivals from r{src} "
+                f"(comm={comm_id}): have pair_seq {sorted(pending)}, the "
+                f"gap at {want} never closed",
+                f"r{proc.rank}",
+            )
+
+    # -- RMA windows --------------------------------------------------------
+    for ref in world._rma_windows:
+        win = ref()
+        if win is not None and not win.freed:
+            pending = sum(len(v) for v in win._pending.values())
+            extra = f", {pending} unfenced op(s)" if pending else ""
+            rec(
+                "verify.window_leak",
+                "window_leak",
+                f"RMA window w{win.win_id} ({len(win.buffers)} buffers"
+                f"{extra}) never freed",
+                f"w{win.win_id}",
+            )
+
+    # -- barrier ------------------------------------------------------------
+    if world._barrier_arrived:
+        rec(
+            "verify.barrier_incomplete",
+            "barrier_incomplete",
+            f"{world._barrier_arrived} rank(s) still waiting inside a "
+            f"barrier ({world.size - world._barrier_arrived} never arrived)",
+            "barrier",
+        )
+
+    # -- DevCache pins -------------------------------------------------------
+    for proc in world.procs.materialized():
+        engine = proc._engine
+        if engine is None:
+            continue
+        for key, comm_ids in engine.cache.pinned_entries():
+            label = _key_label(key)
+            past = sorted(c for c in comm_ids if c in world._freed_comms)
+            live = sorted(c for c in comm_ids if c not in world._freed_comms)
+            if past:
+                rec(
+                    "verify.cache_pin_leak",
+                    "cache_pin_leak",
+                    f"rank {proc.rank} DevCache entry {label} pinned past "
+                    f"freed communicator(s) {past}",
+                    f"r{proc.rank}",
+                )
+            if live:
+                rec(
+                    "verify.cache_pin_leak",
+                    "cache_pin_leak",
+                    f"rank {proc.rank} DevCache entry {label} still pinned "
+                    f"at finalize by communicator(s) {live}",
+                    f"r{proc.rank}",
+                )
+    return found

@@ -653,13 +653,32 @@ class Simulator:
                 self._peak_depth = peak
 
     def run_until_complete(self, proc: Future, limit: float = 1e9) -> Any:
-        """Run until ``proc`` resolves; raise if the queue drains first."""
+        """Run until ``proc`` resolves; raise if the queue drains first.
+
+        With the MPI verifier installed (``REPRO_SANITIZE=verify``/
+        ``all``) a stuck run is first handed to
+        :meth:`repro.sanitize.verify.Verifier.on_stuck`, which records
+        per-rank ``verify.deadlock``/``verify.stall`` violations and
+        returns a wait-for-graph diagnosis that is appended to the
+        exception message — naming each blocked rank's call, peer, tag
+        and communicator instead of a bare "queue empty".
+        """
         self.run(until=None if limit is None else self._now + limit)
         if not proc.done:
-            raise SimulationError(
-                f"deadlock: {proc.label!r} never completed "
-                f"(queue empty at t={self._now:g})"
+            queue_empty = not self._heap
+            state = (
+                f"queue empty at t={self._now:g}"
+                if queue_empty
+                else f"event limit hit at t={self._now:g}"
             )
+            msg = f"deadlock: {proc.label!r} never completed ({state})"
+            if _san.VERIFY is not None:
+                detail = _san.VERIFY.on_stuck(
+                    self, proc, queue_empty=queue_empty
+                )
+                if detail:
+                    msg = f"{msg}\n{detail}"
+            raise SimulationError(msg)
         return proc.value
 
 

@@ -162,6 +162,119 @@ def test_metric_kind_conflict_caught(tmp_path):
     assert {v.code for v in out} == {"SAN-L003"}
 
 
+def test_seeded_deadlock_caught():
+    """Bug: a cyclic blocking sendrecv — every rank rendezvous-sends to
+    its neighbour and nobody posts a receive first.  The verifier must
+    name each rank's blocked call site (peer, tag, comm) and the cycle
+    instead of a silent hang."""
+    from repro.bench.harness import make_env
+    from repro.datatype.ddt import contiguous
+    from repro.datatype.primitives import DOUBLE
+    from repro.sim.core import SimulationError
+
+    dt = contiguous(4096, DOUBLE).commit()  # 32 KB: over the eager limit
+    with sanitize.enabled(
+        SanitizeOptions(verify=True, mode="record")
+    ) as rep:
+        env = make_env("cpu")
+        bufs = []
+        for rank in (0, 1):
+            b = env.world.procs[rank].node.host_memory.alloc(dt.size)
+            b.fill(0)
+            bufs.append(b)
+
+        def program(rank):
+            def run(mpi):
+                peer = 1 - rank
+                yield mpi.send(bufs[rank], dt, 1, dest=peer, tag=5)
+                yield mpi.recv(bufs[rank], dt, 1, source=peer, tag=5)
+            return run
+
+        with pytest.raises(SimulationError, match="deadlock") as exc:
+            env.world.run([program(0), program(1)])
+    msg = str(exc.value)
+    assert "wait cycle" in msg and "r0 -> r1 -> r0" in msg
+    viols = rep.by_code("verify.deadlock")
+    assert len(viols) == 2
+    assert all("tag=5" in v.message and "comm=0" in v.message for v in viols)
+    assert {v.where for v in viols} == {"r0", "r1"}
+
+
+def test_seeded_request_leak_caught():
+    """Bug: an isend whose matching receive never arrives — the program
+    'succeeds', the request is a zombie; finalize must name it."""
+    from repro.bench.harness import make_env
+    from repro.datatype.ddt import contiguous
+    from repro.datatype.primitives import DOUBLE
+
+    dt = contiguous(4096, DOUBLE).commit()
+    with sanitize.enabled(SanitizeOptions(verify=True, mode="record")):
+        env = make_env("cpu")
+        b0 = env.world.procs[0].node.host_memory.alloc(dt.size)
+        b0.fill(0)
+
+        def rank0(mpi):
+            mpi.isend(b0, dt, 1, dest=1, tag=9)
+            return
+            yield  # pragma: no cover
+
+        def rank1(mpi):
+            return
+            yield  # pragma: no cover
+
+        env.world.run([rank0, rank1])
+        findings = env.world.finalize()
+    leaks = [v for v in findings if v.code == "verify.request_leak"]
+    assert len(leaks) == 1
+    assert "rank 0 send to r1" in leaks[0].message
+    assert "tag=9" in leaks[0].message and "comm=0" in leaks[0].message
+
+
+def test_blocking_self_send_lint_caught(tmp_path):
+    """Bug: ``yield mpi.send(..., dest=mpi.rank)`` — the rendezvous
+    self-deadlock shape the collectives avoid with isend-first."""
+    from repro.sanitize.lint import run_lint
+
+    bad = tmp_path / "repro" / "mpi" / "selfsend.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text(
+        "def gather_self(mpi, buf, dt, tag):\n"
+        "    rank = mpi.rank\n"
+        "    yield mpi.send(buf, dt, 1, dest=rank, tag=tag)\n"
+        "    yield mpi.recv(buf, dt, 1, source=rank, tag=tag)\n"
+        "\n"
+        "def also_bad(mpi, buf, dt):\n"
+        "    yield mpi.send(buf, dt, 1, dest=mpi.rank, tag=0)\n"
+    )
+    out = [v for v in run_lint([str(tmp_path)]) if v.code == "SAN-L005"]
+    assert len(out) == 2
+    assert all("self-send" in v.message for v in out)
+    assert "isend first" in out[0].message
+
+
+def test_dropped_request_lint_caught(tmp_path):
+    """Bug: an isend/irecv Request discarded or bound but never read —
+    the static shape of the verify.request_leak runtime finding."""
+    from repro.sanitize.lint import run_lint
+
+    bad = tmp_path / "repro" / "mpi" / "dropreq.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text(
+        "def fire_and_forget(mpi, buf, dt, peer):\n"
+        "    mpi.isend(buf, dt, 1, dest=peer, tag=1)\n"  # discarded
+        "    req = mpi.irecv(buf, dt, 1, source=peer, tag=2)\n"  # never read
+        "    yield mpi.barrier()\n"
+        "\n"
+        "def correct(mpi, buf, dt, peer):\n"
+        "    req = mpi.isend(buf, dt, 1, dest=peer, tag=3)\n"
+        "    yield req\n"
+    )
+    out = [v for v in run_lint([str(tmp_path)]) if v.code == "SAN-L006"]
+    assert len(out) == 2
+    assert any("discarded" in v.message for v in out)
+    assert any("'req'" in v.message and "never read" in v.message for v in out)
+
+
 def test_violations_surface_as_metrics():
     """Violations double as repro.obs counters for dashboards."""
     from repro.obs.metrics import MetricsRegistry

@@ -123,6 +123,162 @@ class TestRunLint:
         assert str(v) == "a/b.py:7: SAN-L001 nondeterministic call"
 
 
+class TestSelfSendRule:
+    def test_yield_send_to_own_rank_flagged(self):
+        out = lint_src(
+            OTHER_PATH,
+            "def f(mpi, buf, dt):\n"
+            "    yield mpi.send(buf, dt, 1, dest=mpi.rank, tag=0)\n",
+        )
+        assert [v.code for v in out] == ["SAN-L005"]
+
+    def test_rank_alias_flagged(self):
+        out = lint_src(
+            OTHER_PATH,
+            "def f(mpi, buf, dt):\n"
+            "    me = mpi.rank\n"
+            "    yield mpi.send(buf, dt, 1, dest=me, tag=0)\n",
+        )
+        assert [v.code for v in out] == ["SAN-L005"]
+
+    def test_isend_to_self_is_legal(self):
+        # the collectives' pattern: isend, recv, then wait the request
+        out = lint_src(
+            OTHER_PATH,
+            "def f(mpi, buf, dt):\n"
+            "    req = mpi.isend(buf, dt, 1, dest=mpi.rank, tag=0)\n"
+            "    yield mpi.recv(buf, dt, 1, source=mpi.rank, tag=0)\n"
+            "    yield req\n",
+        )
+        assert not out
+
+    def test_send_to_peer_is_legal(self):
+        out = lint_src(
+            OTHER_PATH,
+            "def f(mpi, buf, dt, peer):\n"
+            "    yield mpi.send(buf, dt, 1, dest=peer, tag=0)\n",
+        )
+        assert not out
+
+
+class TestDroppedRequestRule:
+    def test_discarded_request_flagged(self):
+        out = lint_src(
+            OTHER_PATH,
+            "def f(mpi, buf, dt):\n"
+            "    mpi.isend(buf, dt, 1, dest=1, tag=0)\n",
+        )
+        assert [v.code for v in out] == ["SAN-L006"]
+
+    def test_never_read_binding_flagged(self):
+        out = lint_src(
+            OTHER_PATH,
+            "def f(mpi, buf, dt):\n"
+            "    r = mpi.irecv(buf, dt, 1, source=0, tag=0)\n"
+            "    yield mpi.barrier()\n",
+        )
+        assert [v.code for v in out] == ["SAN-L006"]
+
+    def test_waited_request_is_legal(self):
+        out = lint_src(
+            OTHER_PATH,
+            "def f(mpi, buf, dt):\n"
+            "    r = mpi.irecv(buf, dt, 1, source=0, tag=0)\n"
+            "    yield r\n",
+        )
+        assert not out
+
+    def test_request_in_collection_is_legal(self):
+        out = lint_src(
+            OTHER_PATH,
+            "def f(mpi, bufs, dt):\n"
+            "    reqs = [mpi.irecv(b, dt, 1) for b in bufs]\n"
+            "    yield mpi.wait_all(*reqs)\n",
+        )
+        assert not out
+
+    def test_closure_wait_is_legal(self):
+        out = lint_src(
+            OTHER_PATH,
+            "def f(mpi, buf, dt):\n"
+            "    r = mpi.isend(buf, dt, 1, dest=1)\n"
+            "    def waiter():\n"
+            "        yield r\n"
+            "    return waiter\n",
+        )
+        assert not out
+
+
+class TestMissingPathRule:
+    def test_nonexistent_path_is_a_violation(self):
+        out = run_lint(["no/such/dir", "ghost.py"])
+        assert [v.code for v in out] == ["SAN-L000", "SAN-L000"]
+
+    def test_cli_exits_nonzero_on_missing_path(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.sanitize.lint", "no_such_path"],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 1
+        assert "SAN-L000" in proc.stdout
+
+
+class TestOutputFormats:
+    def _violating_tree(self, tmp_path):
+        bad = tmp_path / "repro" / "sim" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import time\nt = time.time()\n")
+        return tmp_path
+
+    def test_json_format(self, tmp_path):
+        import json
+
+        root = self._violating_tree(tmp_path)
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro.sanitize.lint",
+                str(root), "--format", "json",
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 1
+        doc = json.loads(proc.stdout)
+        assert doc["count"] == 1 and doc["ok"] is False
+        (v,) = doc["violations"]
+        assert v["code"] == "SAN-L001" and v["line"] == 2
+
+    def test_json_format_clean(self):
+        import json
+
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro.sanitize.lint",
+                "src", "--format", "json",
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0
+        assert json.loads(proc.stdout)["ok"] is True
+
+    def test_github_format(self, tmp_path):
+        root = self._violating_tree(tmp_path)
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro.sanitize.lint",
+                str(root), "--format", "github",
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 1
+        line = proc.stdout.strip().splitlines()[0]
+        assert line.startswith("::error file=")
+        assert "title=SAN-L001" in line and ",line=2," in line
+
+
 class TestRepoIsClean:
     def test_src_tree_passes_lint(self):
         """The CI gate: the whole src tree lints clean."""
