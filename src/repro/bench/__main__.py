@@ -66,9 +66,15 @@ def run_suite_cli(parser: argparse.ArgumentParser, args) -> int:
     if args.update_baseline:
         out = dict(doc)
         try:
+            # a *missing* baseline is a fresh start; a *malformed* one is
+            # a real problem the refresh must not paper over silently
             prev = regress.load_baseline(BASELINE_PATH)
-        except (OSError, ValueError):
+        except OSError:
             prev = {}
+        except ValueError as err:
+            print(f"error: refusing to overwrite a malformed baseline: {err}",
+                  file=sys.stderr)
+            return 1
         # hand-tuned per-metric tolerances survive a refresh — they
         # encode review decisions, not measurements
         if prev.get("tolerances"):
@@ -77,7 +83,8 @@ def run_suite_cli(parser: argparse.ArgumentParser, args) -> int:
         print(f"suite: updated {BASELINE_PATH}")
 
     if args.check:
-        return regress.run_check(doc, args.check)
+        # a --scenario subset is gated against just those baseline records
+        return regress.run_check(doc, args.check, only=args.scenario)
     return 0
 
 

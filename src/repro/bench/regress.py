@@ -68,9 +68,29 @@ class Issue:
 
 
 def load_baseline(path: str) -> dict:
-    """Read a baseline document from disk."""
+    """Read and validate a baseline document from disk.
+
+    Strict by design: a baseline that is not valid JSON, not an object,
+    or does not declare ``schema: repro-bench/1`` raises ``ValueError``
+    instead of sliding into the comparison — a gate that cannot read its
+    baseline must fail loudly, not warn and pass (``run_check`` turns
+    the error into a clean nonzero exit).
+    """
     with open(path) as fh:
-        return json.load(fh)
+        try:
+            doc = json.load(fh)
+        except json.JSONDecodeError as err:
+            raise ValueError(f"baseline {path} is not valid JSON: {err}") from err
+    if not isinstance(doc, dict):
+        raise ValueError(
+            f"baseline {path} must be a JSON object, got {type(doc).__name__}"
+        )
+    if doc.get("schema") != "repro-bench/1":
+        raise ValueError(
+            f"baseline {path} declares schema {doc.get('schema')!r}, "
+            "expected 'repro-bench/1' (regenerate with --update-baseline)"
+        )
+    return doc
 
 
 def _rel_delta(cur: float, base: float) -> float:
@@ -108,8 +128,16 @@ def _check_rate(issues: list[Issue], path: str, cur: float, base: float) -> None
         )
 
 
-def compare(current: dict, baseline: dict) -> list[Issue]:
-    """All comparison findings between a current run and a baseline."""
+def compare(current: dict, baseline: dict, only=None) -> list[Issue]:
+    """All comparison findings between a current run and a baseline.
+
+    ``only`` restricts the check to a subset of scenario names — a run
+    produced with ``--scenario`` is gated against just those baseline
+    records instead of failing every scenario it never executed.  Names
+    in ``only`` absent from the baseline are warnings (new coverage),
+    but an empty intersection fails: a subset gate that checks nothing
+    must not pass.
+    """
     issues: list[Issue] = []
 
     for doc, who in ((current, "current"), (baseline, "baseline")):
@@ -140,6 +168,19 @@ def compare(current: dict, baseline: dict) -> list[Issue]:
     tolerances: dict = baseline.get("tolerances", {})
     cur_scen: dict = current.get("scenarios", {})
     base_scen: dict = baseline.get("scenarios", {})
+    if only is not None:
+        wanted = set(only)
+        base_scen = {n: r for n, r in base_scen.items() if n in wanted}
+        if not base_scen:
+            issues.append(
+                Issue(
+                    "fail",
+                    "scenarios",
+                    f"none of the requested scenarios {sorted(wanted)} are in "
+                    "the baseline — the subset gate would check nothing",
+                )
+            )
+            return issues
 
     for name, base_rec in base_scen.items():
         cur_rec = cur_scen.get(name)
@@ -257,10 +298,22 @@ def render_report(issues: Iterable[Issue]) -> str:
     return "\n".join(lines)
 
 
-def run_check(current: dict, baseline_path: str, verbose: bool = True) -> int:
-    """Compare and print; returns a process exit code (1 on any failure)."""
-    baseline = load_baseline(baseline_path)
-    issues = compare(current, baseline)
+def run_check(
+    current: dict, baseline_path: str, verbose: bool = True, only=None
+) -> int:
+    """Compare and print; returns a process exit code (1 on any failure).
+
+    A missing or malformed baseline is itself a failure (exit 1 with a
+    one-line reason), never a warn-and-pass.
+    """
+    try:
+        baseline = load_baseline(baseline_path)
+    except (OSError, ValueError) as err:
+        if verbose:
+            print(f"[FAIL] baseline: {err}")
+            print("regression gate: 1 failure(s), 0 warning(s)")
+        return 1
+    issues = compare(current, baseline, only=only)
     if verbose:
         print(render_report(issues))
     return 1 if any(i.is_failure for i in issues) else 0

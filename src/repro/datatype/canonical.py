@@ -72,6 +72,7 @@ __all__ = [
     "plan_cost",
     "select_cpu_plan",
     "select_gpu_plan",
+    "feasible_gpu_plans",
 ]
 
 # -- the pack-plan menu -------------------------------------------------------
@@ -293,6 +294,22 @@ def select_cpu_plan(
 #: The vector/memcpy kernels need no DEV preparation at all (Section 3.1),
 #: which is why they win whenever the form admits them.
 _GPU_DEV_PREP_COST = 24.0
+
+
+def feasible_gpu_plans(form: CanonicalForm) -> tuple[str, ...]:
+    """Every GPU plan able to execute ``form`` exactly.
+
+    The menu :func:`select_gpu_plan` chooses from by modelled cost, and
+    the menu the autotuner (:mod:`repro.tune`) may re-rank by *measured*
+    cost — learned history must never make an infeasible plan choosable.
+    """
+    if form.kind == "empty":
+        return (PLAN_MEMCPY,)
+    if form.kind == "contig":
+        return (PLAN_GATHER, PLAN_MEMCPY)
+    if form.kind == "vector":
+        return (PLAN_GATHER, PLAN_VECTOR_KERNEL)
+    return (PLAN_GATHER,)
 
 
 def select_gpu_plan(form: CanonicalForm, force_dev: bool = False) -> str:

@@ -30,6 +30,7 @@ from repro.datatype.canonical import (
     PLAN_MEMCPY,
     PLAN_VECTOR_KERNEL,
     canonicalize,
+    feasible_gpu_plans,
     select_gpu_plan,
 )
 from repro.datatype.convertor import Convertor
@@ -107,7 +108,24 @@ class PackJob:
         self.convertor = Convertor(dt, count, user_buf.bytes, direction)
 
         self.form = canonicalize(dt, count)
-        self.plan = select_gpu_plan(self.form, force_dev=options.force_dev_path)
+        #: autotuner hook (docs/AUTOTUNER.md): learned seconds-per-byte
+        #: may override the hand-set cost model, but only among the
+        #: form's feasible plans and only with full coverage; the forced
+        #: DEV ablation and the static model stay the fallbacks.  The
+        #: key is kept for observation even when no decision applies, so
+        #: training runs (mode "observe", force_dev sweeps) build history.
+        tuner = engine.tuner
+        self._tune_key: Optional[str] = None
+        plan = None
+        if tuner is not None and self.form.kind != "empty":
+            self._tune_key = tuner.plan_key(self.form, self.total_bytes)
+            if not options.force_dev_path:
+                plan = tuner.decide_plan(
+                    self._tune_key, feasible_gpu_plans(self.form)
+                )
+        if plan is None:
+            plan = select_gpu_plan(self.form, force_dev=options.force_dev_path)
+        self.plan = plan
         shape = (
             self.form.vector_shape
             if self.plan in (PLAN_MEMCPY, PLAN_VECTOR_KERNEL)
@@ -269,6 +287,10 @@ class PackJob:
         upload = (n * 24) / self.gpu.h2d_link.bandwidth
         cost = self.prep_time(n) + upload
         self.engine._m_prep.observe(cost)
+        if self._tune_key is not None:
+            # DEV preparation is gather-plan overhead the learned cost
+            # must carry (zero bytes: pure seconds against the key)
+            self.engine.tuner.observe_plan(self._tune_key, self.plan, cost, 0)
         self._prep_fut = node.cpu_prep_engine.transfer(
             0, extra_overhead=cost, label="dev-prep"
         )
@@ -372,6 +394,10 @@ class PackJob:
         self.engine._m_kernel.observe(duration)
         self.engine._m_fragments.inc()
         self.engine._m_bytes.inc(frag.nbytes)
+        if self._tune_key is not None:
+            self.engine.tuner.observe_plan(
+                self._tune_key, self.plan, duration, frag.nbytes
+            )
         reads: tuple = ()
         writes: tuple = ()
         if _san.RACE is not None:
@@ -508,10 +534,13 @@ class GpuDatatypeEngine:
         cache: Optional[DevCache] = None,
         stream_name: str = "dtengine",
         metrics: Optional[MetricsRegistry] = None,
+        tuner=None,
     ) -> None:
         if gpu.node is None:
             raise ValueError("GPU must be attached to a node")
         self.gpu = gpu
+        #: optional :class:`repro.tune.Autotuner` consulted per PackJob
+        self.tuner = tuner
         self.metrics = (
             metrics if metrics is not None else MetricsRegistry().scoped("engine.")
         )

@@ -284,6 +284,56 @@ def _coll_scenario(sim: Simulator) -> str:
     return h.hexdigest()
 
 
+def _traffic_scenario(sim: Simulator) -> str:
+    """Tuned multi-tenant traffic replay (autotuner + generator).
+
+    The decision table is *synthetic* — fixed costs written directly,
+    no measurement — so every run derives identical frozen decisions
+    regardless of event ordering.  The digest covers all received bytes
+    plus the tuner's applied-decision digest: data integrity and
+    reproducible tuned (frag, depth, protocol, plan) selection per size
+    band in one check.  Costs are rigged so the tuned choices *differ*
+    from the static defaults (small fragments, copy-in/out preference,
+    gather plan) — the perturbed schedules must agree while actually
+    running the tuned paths.
+    """
+    from repro.datatype.canonical import canonicalize
+    from repro.datatype.ddt import contiguous, vector
+    from repro.datatype.primitives import BYTE, DOUBLE
+    from repro.tune import Autotuner, DecisionTable
+    from repro.workloads.traffic import TrafficSpec, replay_digest
+
+    # default spec size: large enough that vector, plan, and intra-node
+    # rigged decisions all fire (17 applied decisions), not just contig
+    spec = TrafficSpec(rounds=4, tenants=3)
+    table = DecisionTable()
+    helper = Autotuner(table, mode="observe")
+    vdt = vector(
+        spec.vector_rows, spec.vector_bl, spec.vector_stride, DOUBLE
+    ).commit()
+    forms = [
+        (canonicalize(vdt, c), vdt.size * c)
+        for c in range(1, spec.vector_max_count + 1)
+    ] + [
+        (canonicalize(contiguous(n, BYTE).commit(), 1), n)
+        for n, _w in spec.size_mix
+    ]
+    for form, nbytes in forms:
+        for intra in (True, False):
+            for loc in ("host", "device"):
+                key = helper.p2p_key(form, nbytes, intra, loc)
+                alt = "host" if loc == "host" else "copyinout"
+                # rigged: small fragments + the fallback protocol win
+                table.observe(key, f"frag=262144,depth=2,proto={alt}", 1.0, 10**9)
+                table.observe(key, "frag=1048576,depth=4,proto=-", 2.0, 10**9)
+        if form.kind == "vector":
+            pkey = helper.plan_key(form, nbytes)
+            table.observe(pkey, "gather", 1.0, 10**9)
+            table.observe(pkey, "vector_kernel", 2.0, 10**9)
+    tuner = Autotuner(table, mode="on")
+    return replay_digest(spec, tuner=tuner, sim=sim)
+
+
 #: scenario name -> callable(sim) -> result digest
 SCENARIOS: dict[str, Callable[[Simulator], str]] = {
     # protocol paths
@@ -303,6 +353,8 @@ SCENARIOS: dict[str, Callable[[Simulator], str]] = {
     ),
     # collective crossover: staged + direct alltoall on a 2x2 world
     "coll_crossover": _coll_scenario,
+    # tuned multi-tenant traffic replay (frozen synthetic decision table)
+    "traffic": _traffic_scenario,
 }
 
 

@@ -1,0 +1,21 @@
+"""Adaptive protocol/plan autotuner (docs/AUTOTUNER.md).
+
+``repro.tune`` selects protocol, fragment size, pipeline depth, pack
+plan and collective rung per (canonical datatype form, message-size
+band, topology) from measured history, with the MVAPICH-style
+host-staged baseline as a first-class fallback choice.  See
+:mod:`repro.tune.tuner` for the mode contract (off / observe / on) and
+:mod:`repro.tune.table` for the schema-versioned decision table; train
+and inspect tables with ``python -m repro.tune``.
+"""
+
+from repro.tune.table import DEFAULT_BANDS, SCHEMA, DecisionTable
+from repro.tune.tuner import Autotuner, SendChoice
+
+__all__ = [
+    "SCHEMA",
+    "DEFAULT_BANDS",
+    "DecisionTable",
+    "Autotuner",
+    "SendChoice",
+]

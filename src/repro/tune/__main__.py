@@ -1,0 +1,209 @@
+"""Offline autotuner CLI: train a decision table, compare it to static.
+
+Training (``--train``) replays the seeded multi-tenant traffic mix and
+the alltoall ladder under a sweep of *static* candidate configurations
+with an observe-mode :class:`~repro.tune.tuner.Autotuner` attached, so
+every (key, choice) pair accumulates measured virtual-clock costs:
+
+* fragment/depth candidates over the traffic replay (eager, host, and
+  device rendezvous keys);
+* a ``use_cuda_ipc=False`` leg, so the MVAPICH-style copy-in/out
+  baseline is sampled as a first-class protocol choice — the table can
+  legitimately prefer it where it wins;
+* a ``force_dev_path`` leg, so the generic gather plan has history and
+  :meth:`~repro.tune.tuner.Autotuner.decide_plan`'s full-coverage rule
+  can engage;
+* staged/nonblocking/direct sweeps of the uniform alltoall.
+
+All exploration happens *here*, offline and seeded — in-run decisions
+are deterministic argmins over the frozen table, which is what keeps
+tuned runs explorer-clean (docs/AUTOTUNER.md).
+
+Comparison (``--compare TABLE``) reports, per table key, the tuned
+choice against the static :class:`~repro.mpi.config.MpiConfig` pick;
+``--format github`` emits ``::notice`` workflow annotations for the
+divergences so they surface inline on pull requests.  Exit code is
+always 0 — divergence is information, not failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.tune.table import DecisionTable
+from repro.tune.tuner import Autotuner, send_choice_str
+
+#: (frag_bytes, pipeline_depth) static candidates the sweep measures
+FULL_CANDIDATES = ((256 << 10, 2), (1 << 20, 4), (4 << 20, 8))
+QUICK_CANDIDATES = ((256 << 10, 2), (1 << 20, 4))
+
+#: per-peer alltoall block sizes for the collective sweep
+FULL_COLL_SIZES = (1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10)
+QUICK_COLL_SIZES = (4 << 10, 64 << 10)
+
+#: rungs sampled for the uniform alltoall (mirrors collectives._TUNABLE_A2A)
+TUNABLE_A2A = ("staged", "nonblocking", "direct")
+
+
+def train(out: str, quick: bool, seed: int, verbose: bool = True) -> DecisionTable:
+    """Run the sweeps, persist the merged table at ``out``, return it."""
+    from repro.bench.harness import alltoall_times
+    from repro.gpu_engine import EngineOptions
+    from repro.mpi.collectives import CollAlgorithm
+    from repro.mpi.config import MpiConfig
+    from repro.workloads.traffic import TrafficSpec, run_traffic
+
+    tuner = Autotuner(DecisionTable(), mode="observe", seed=seed)
+    spec = TrafficSpec(
+        seed=seed, rounds=2 if quick else 4, tenants=2 if quick else 3
+    )
+    candidates = QUICK_CANDIDATES if quick else FULL_CANDIDATES
+    for frag, depth in candidates:
+        base = MpiConfig(frag_bytes=frag, pipeline_depth=depth)
+        # IPC on: device pairs sample the RDMA pipeline at (frag, depth)
+        run_traffic(spec, config=base, tuner=tuner)
+        # IPC off: the same keys sample the copy-in/out baseline
+        run_traffic(spec, config=base.but(use_cuda_ipc=False), tuner=tuner)
+    # forced generic-DEV leg: gather plan costs for vector-describable
+    # types, so decide_plan's full-coverage requirement can be met
+    run_traffic(
+        spec,
+        config=MpiConfig(engine=EngineOptions(force_dev_path=True)),
+        tuner=tuner,
+    )
+    algos = [CollAlgorithm(a) for a in TUNABLE_A2A]
+    for nbytes in QUICK_COLL_SIZES if quick else FULL_COLL_SIZES:
+        # record the measured wall time per rung — the metric a tuned
+        # "auto" must minimize — rather than per-rank in-run elapsed
+        times = alltoall_times(nbytes, algos, n_nodes=2, gpus_per_node=2)
+        peer = max(nbytes // 8, 1) * 8
+        key = tuner.coll_key("alltoall", peer, True, n_nodes=2, size=4)
+        for algo, t in times.items():
+            tuner.observe_coll(key, algo, t, peer * 4)
+    table = tuner.table
+    table.save(out)
+    if verbose:
+        print(
+            f"trained {len(table)} keys / {table.total_samples} samples "
+            f"-> {out}"
+        )
+    return table
+
+
+def _parse_band_edge(label: str) -> int:
+    """Representative byte count of a band label ('le32768' / 'gt...')."""
+    if label.startswith("le"):
+        return int(label[2:])
+    return int(label[2:]) + 1
+
+
+def _static_p2p_protocol(key: str) -> str:
+    """The classic handshake outcome for a symmetric pair of this key.
+
+    ``p2p/{sig}/{band}/{topo}/{loc}`` carries only the sender side, but
+    for the like-for-like pairs the traffic generator sends, the static
+    pick is determined: host senders stage via host, intra-node device
+    pairs ride CUDA IPC, inter-node device pairs copy in/out.
+    """
+    topo, loc = key.rsplit("/", 2)[1:]
+    if loc == "h":
+        return "host"
+    return "ipc_rdma" if topo == "intra" else "copyinout"
+
+
+def _static_coll_choice(key: str) -> str | None:
+    """The static ``"auto"`` rung for a coll key, or None if not an a2a."""
+    from repro.mpi.config import MpiConfig
+
+    _c, op, loc, band = key.split("/")[:4]
+    if op not in ("alltoall", "alltoallv"):
+        return None
+    cfg = MpiConfig()
+    if loc == "dev" and _parse_band_edge(band) <= cfg.coll_staged_threshold:
+        return "staged"
+    return "nonblocking"
+
+
+def compare(table_path: str, fmt: str) -> int:
+    """Print tuned-vs-static picks for every key; annotate divergences."""
+    from repro.mpi.config import MpiConfig
+
+    table = DecisionTable.load(table_path)
+    tuner = Autotuner(table, mode="on")
+    cfg = MpiConfig()
+    divergences = 0
+    for key in sorted(table.entries):
+        tuned: str | None = None
+        static: str | None = None
+        if key.startswith("p2p/"):
+            choice = tuner.decide_send(key)
+            if choice is not None:
+                tuned = send_choice_str(
+                    choice.frag_bytes, choice.depth, choice.protocol
+                )
+                static = send_choice_str(
+                    cfg.frag_bytes, cfg.pipeline_depth,
+                    _static_p2p_protocol(key),
+                )
+        elif key.startswith("coll/"):
+            tuned = tuner.decide_coll(key, TUNABLE_A2A)
+            static = _static_coll_choice(key)
+        else:  # plan/... — informational only (static pick needs the form)
+            tuned = table.best(key)
+        if tuned is None:
+            continue
+        diverges = static is not None and tuned != static
+        mark = "  DIVERGES" if diverges else ""
+        print(f"{key}: tuned={tuned} static={static or '-'}{mark}")
+        if diverges:
+            divergences += 1
+            if fmt == "github":
+                print(
+                    "::notice title=autotuner divergence::"
+                    f"{key}: tuned pick {tuned} differs from the static "
+                    f"MpiConfig pick {static}"
+                )
+    print(f"{divergences} divergence(s) across {len(table)} keys")
+    return 0
+
+
+def main(argv=None) -> int:
+    """Entry point: ``--train --out PATH`` or ``--compare TABLE``."""
+    p = argparse.ArgumentParser(
+        prog="python -m repro.tune",
+        description="train / inspect the protocol autotuner decision table",
+    )
+    p.add_argument("--train", action="store_true", help="run the training sweeps")
+    p.add_argument("--out", help="where --train writes the decision table")
+    p.add_argument(
+        "--quick", action="store_true",
+        help="smaller sweep (CI-sized; same keys, fewer samples)",
+    )
+    p.add_argument(
+        "--seed", type=int, default=0,
+        help="traffic seed for the training replay (default 0)",
+    )
+    p.add_argument("--compare", metavar="TABLE", help="report tuned vs static picks")
+    p.add_argument(
+        "--format", choices=("text", "github"), default="text",
+        help="'github' adds ::notice annotations for divergences",
+    )
+    args = p.parse_args(argv)
+    if args.train:
+        if not args.out:
+            p.error("--train requires --out PATH")
+        train(args.out, args.quick, args.seed)
+        return 0
+    if args.compare:
+        try:
+            return compare(args.compare, args.format)
+        except ValueError as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 1
+    p.error("nothing to do: pass --train --out PATH or --compare TABLE")
+    return 2  # unreachable (error() raises SystemExit)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

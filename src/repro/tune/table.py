@@ -1,0 +1,270 @@
+"""The autotuner's persistable decision table.
+
+A :class:`DecisionTable` accumulates *observations* — ``(key, choice,
+seconds, nbytes)`` samples measured on the simulated clock — and answers
+*decisions*: the cheapest observed choice for a key, by mean seconds per
+byte.  Keys are flat strings built by :mod:`repro.tune.tuner` from the
+canonical datatype form, the message size band, and the topology
+(``p2p/v1024x2048/le32768/intra/d``); choices are flat strings too
+(``frag=1048576,depth=4,proto=ipc_rdma``, ``staged``, ``vector_kernel``),
+so the table itself knows nothing about protocols or plans and the JSON
+document stays diffable.
+
+The on-disk form is schema-versioned exactly like ``BENCH_*.json``
+(:data:`SCHEMA`); :meth:`DecisionTable.from_doc` hard-fails on a missing
+or unknown schema tag and on malformed entries — a half-loaded decision
+table silently steering every transfer is the one failure mode this
+subsystem must not have.
+
+Size bands quantize message sizes so history generalizes: an observation
+at 48 KB informs a decision at 60 KB.  ``bands`` are the inclusive upper
+edges in bytes; band *i* covers ``(bands[i-1], bands[i]]`` and one open
+band covers everything above the last edge.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from bisect import bisect_left
+from typing import Iterable, Optional
+
+__all__ = [
+    "SCHEMA",
+    "DEFAULT_BANDS",
+    "band_of",
+    "band_label",
+    "validate_bands",
+    "DecisionTable",
+]
+
+#: schema tag of the persisted JSON document (bump on layout change)
+SCHEMA = "repro-tune/1"
+
+#: default size-band upper edges (bytes): eager-ish, small/medium/large
+#: rendezvous, plus the open top band.  4 KB..2 MB brackets the range
+#: where the paper's schemes trade places (crossovers at ~30 KB and ~MB).
+DEFAULT_BANDS = (4 << 10, 32 << 10, 256 << 10, 2 << 20)
+
+
+def validate_bands(bands) -> tuple[int, ...]:
+    """Normalize and validate band edges; raises ``ValueError`` if bad."""
+    if isinstance(bands, (str, bytes)) or not isinstance(bands, Iterable):
+        raise ValueError(f"size bands must be a sequence of bytes, got {bands!r}")
+    edges = tuple(bands)
+    if not edges:
+        raise ValueError("size bands must name at least one edge")
+    for e in edges:
+        if isinstance(e, bool) or not isinstance(e, int) or e <= 0:
+            raise ValueError(f"size-band edges must be positive ints, got {e!r}")
+    if any(b <= a for a, b in zip(edges, edges[1:])):
+        raise ValueError(f"size-band edges must be strictly increasing: {edges}")
+    return edges
+
+
+def band_of(bands: tuple[int, ...], nbytes: int) -> int:
+    """Index of the band containing ``nbytes`` (``len(bands)`` = open top)."""
+    return bisect_left(bands, nbytes)
+
+
+def band_label(bands: tuple[int, ...], nbytes: int) -> str:
+    """Stable band name for keys: ``le<edge>`` or ``gt<last-edge>``."""
+    i = band_of(bands, nbytes)
+    if i < len(bands):
+        return f"le{bands[i]}"
+    return f"gt{bands[-1]}"
+
+
+class DecisionTable:
+    """Observed costs per (key, choice), with argmin decisions.
+
+    ``entries[key][choice]`` is ``[samples, seconds, nbytes]`` — plain
+    lists so the JSON round-trip is the identity.  Costs are mean seconds
+    per byte (zero-byte observations, e.g. DEV-prep overheads, still
+    contribute their seconds), so choices observed on different message
+    counts stay comparable within a band.
+    """
+
+    def __init__(self, bands: Optional[tuple[int, ...]] = None) -> None:
+        self.bands: tuple[int, ...] = validate_bands(bands or DEFAULT_BANDS)
+        self.entries: dict[str, dict[str, list]] = {}
+
+    # -- recording ---------------------------------------------------------
+    def observe(self, key: str, choice: str, seconds: float, nbytes: int) -> None:
+        """Fold one measured sample into the (key, choice) cell."""
+        if seconds < 0 or nbytes < 0:
+            raise ValueError(
+                f"observation must be non-negative: {seconds}s / {nbytes}B"
+            )
+        cell = self.entries.setdefault(key, {}).setdefault(choice, [0, 0.0, 0])
+        cell[0] += 1
+        cell[1] += seconds
+        cell[2] += nbytes
+
+    def merge(self, other: "DecisionTable") -> None:
+        """Fold another table's samples into this one (bands must match)."""
+        if other.bands != self.bands:
+            raise ValueError(
+                f"cannot merge tables with different bands: "
+                f"{self.bands} vs {other.bands}"
+            )
+        for key, choices in other.entries.items():
+            mine = self.entries.setdefault(key, {})
+            for choice, (n, s, b) in choices.items():
+                cell = mine.setdefault(choice, [0, 0.0, 0])
+                cell[0] += n
+                cell[1] += s
+                cell[2] += b
+
+    # -- deciding ----------------------------------------------------------
+    def cost(self, key: str, choice: str) -> Optional[float]:
+        """Mean seconds per byte of a (key, choice) cell; None if unseen."""
+        cell = self.entries.get(key, {}).get(choice)
+        if cell is None or cell[0] == 0:
+            return None
+        _n, seconds, nbytes = cell
+        return seconds / max(nbytes, 1)
+
+    def best(self, key: str, feasible=None) -> Optional[str]:
+        """Cheapest observed choice for ``key`` among ``feasible``.
+
+        Deterministic: ties break lexicographically on the choice string,
+        independent of observation (and dict) order.
+        """
+        choices = self.entries.get(key)
+        if not choices:
+            return None
+        ranked = []
+        for choice in choices:
+            if feasible is not None and choice not in feasible:
+                continue
+            c = self.cost(key, choice)
+            if c is not None:
+                ranked.append((c, choice))
+        if not ranked:
+            return None
+        return min(ranked)[1]
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """Frozen ``{key: {choice: cost}}`` view for in-run decisions.
+
+        The autotuner decides from this copy, taken once at construction,
+        so observations recorded *during* a run can never steer that same
+        run — decisions stay independent of event-arrival order, which is
+        what keeps tuned runs schedule-explorer clean.
+        """
+        return {
+            key: {
+                choice: cost
+                for choice in choices
+                if (cost := self.cost(key, choice)) is not None
+            }
+            for key, choices in self.entries.items()
+        }
+
+    @property
+    def total_samples(self) -> int:
+        return sum(
+            cell[0] for choices in self.entries.values() for cell in choices.values()
+        )
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"DecisionTable({len(self.entries)} keys, "
+            f"{self.total_samples} samples)"
+        )
+
+    # -- persistence -------------------------------------------------------
+    def to_doc(self) -> dict:
+        """The schema-versioned JSON document (sorted for diffability)."""
+        return {
+            "schema": SCHEMA,
+            "bands": list(self.bands),
+            "entries": {
+                key: {
+                    choice: [cell[0], cell[1], cell[2]]
+                    for choice, cell in sorted(self.entries[key].items())
+                }
+                for key in sorted(self.entries)
+            },
+        }
+
+    @classmethod
+    def from_doc(cls, doc) -> "DecisionTable":
+        """Parse and *strictly* validate a decision-table document.
+
+        Raises ``ValueError`` on a missing/unknown schema tag or any
+        malformed entry — consistent with the bench gate's
+        missing-metric=fail rule.  A decision table is load-bearing
+        config, not advisory data; a typo must not degrade to "tuner
+        silently does nothing".
+        """
+        if not isinstance(doc, dict):
+            raise ValueError(
+                f"decision table must be a JSON object, got {type(doc).__name__}"
+            )
+        schema = doc.get("schema")
+        if schema != SCHEMA:
+            raise ValueError(
+                f"decision table has schema {schema!r}, expected {SCHEMA!r} "
+                "(missing or unknown schema tags are hard failures)"
+            )
+        table = cls(bands=validate_bands(doc.get("bands", DEFAULT_BANDS)))
+        entries = doc.get("entries", {})
+        if not isinstance(entries, dict):
+            raise ValueError("decision table 'entries' must be an object")
+        for key, choices in entries.items():
+            if not isinstance(key, str) or not key:
+                raise ValueError(f"decision-table key must be a string: {key!r}")
+            if not isinstance(choices, dict):
+                raise ValueError(f"choices for {key!r} must be an object")
+            for choice, cell in choices.items():
+                if not isinstance(choice, str) or not choice:
+                    raise ValueError(
+                        f"choice under {key!r} must be a string: {choice!r}"
+                    )
+                ok = (
+                    isinstance(cell, (list, tuple))
+                    and len(cell) == 3
+                    and isinstance(cell[0], int)
+                    and not isinstance(cell[0], bool)
+                    and isinstance(cell[1], (int, float))
+                    and not isinstance(cell[1], bool)
+                    and isinstance(cell[2], int)
+                    and not isinstance(cell[2], bool)
+                    and cell[0] > 0
+                    and cell[1] >= 0
+                    and cell[2] >= 0
+                )
+                if not ok:
+                    raise ValueError(
+                        f"malformed cell for {key!r}/{choice!r}: expected "
+                        f"[samples>0, seconds>=0, nbytes>=0], got {cell!r}"
+                    )
+                table.entries.setdefault(key, {})[choice] = [
+                    cell[0], float(cell[1]), cell[2],
+                ]
+        return table
+
+    def save(self, path: str) -> str:
+        """Write the document to ``path`` (creating parent directories)."""
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(path, "w") as fh:
+            json.dump(self.to_doc(), fh, indent=2, sort_keys=False)
+            fh.write("\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "DecisionTable":
+        """Read and validate a table; JSON syntax errors become ValueError."""
+        with open(path) as fh:
+            try:
+                doc = json.load(fh)
+            except json.JSONDecodeError as err:
+                raise ValueError(f"decision table {path}: invalid JSON: {err}")
+        return cls.from_doc(doc)

@@ -1,0 +1,328 @@
+"""The adaptive protocol/plan autotuner (ROADMAP item 5).
+
+No single data-movement scheme wins across message sizes and datatype
+shapes — the paper's schemes trade places around the eager limit and the
+staged/direct crossover, Eijkhout (arXiv 1809.10778) shows DDT schemes
+swapping ranks near the megabyte range, and the cross-implementation DDT
+study (arXiv 2511.13804) shows manual packing sometimes beating
+datatypes outright.  The repo measures all of this (WorldStats,
+per-plan engine counters, the gated bench suite) but until now picked
+protocol, ``frag_bytes``, ``pipeline_depth`` and pack plan statically
+from :class:`~repro.mpi.config.MpiConfig`.  :class:`Autotuner` closes
+the loop: it selects per (canonical datatype form, message-size band,
+topology) from *measured history* in a :class:`~repro.tune.table.DecisionTable`,
+with the MVAPICH-style host-staged copy-in/out path as a first-class
+choice it may fall back to.
+
+Three modes (``MpiConfig.autotune``):
+
+* ``"off"`` — no tuner object exists; every path keeps today's static
+  selection, with zero overhead.
+* ``"observe"`` — the tuner records observed costs into its table but
+  never decides; static selection is unchanged.  This is how training
+  runs harvest history.
+* ``"on"`` — decisions come from a snapshot of the table **frozen at
+  construction**; observations are still recorded (into the live table,
+  for later persistence) but cannot steer the run that produced them.
+
+The frozen snapshot is a determinism invariant, not an optimization:
+an online tuner whose decisions depended on which observation happened
+to land first would give the schedule-perturbation explorer
+(``REPRO_SANITIZE=verify``) different protocol choices under reordered
+same-timestamp events.  With the snapshot, the chosen (plan, protocol)
+per size band is a pure function of (table, key) — reproducible under
+any schedule and any seed.  Exploration happens *offline*: the training
+CLI (``python -m repro.tune --train``) sweeps candidate configurations
+under seeded traffic and merges the observed costs.
+
+Decision hooks (all no-ops in "observe"; all fall back to the static
+pick when the key has no history):
+
+* **PML send path** — :func:`Autotuner.decide_send` picks rendezvous
+  ``(frag_bytes, pipeline_depth)`` and a *preferred protocol* that the
+  RTS advertises; the receiver honours the preference only when it is in
+  the feasible set for the actual buffer pair.  Preferring
+  ``copyinout`` over ``ipc_rdma`` for a device pair is exactly the
+  "manual packing beats DDT RDMA here" fallback.
+* **collective ladder** — :func:`Autotuner.decide_coll` picks the
+  ``auto`` rung for the uniform ``alltoall`` among staged / nonblocking
+  / direct.  Tuned ``direct`` assumes the symmetric placement every
+  valid uniform alltoall already has (same contract as configuring
+  ``coll_algorithm="direct"`` world-wide); the ragged ``alltoallv``
+  keeps the static auto rule.
+* **GPU engine** — :func:`Autotuner.decide_plan` overrides
+  :func:`~repro.datatype.canonical.select_gpu_plan`'s hand-set cost
+  model with learned seconds-per-byte, but only when *every* feasible
+  plan for the form has measured history — a half-trained table must
+  not beat a sensible model.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.datatype.canonical import CanonicalForm
+from repro.tune.table import DecisionTable, band_label, validate_bands
+
+if TYPE_CHECKING:
+    from repro.mpi.config import MpiConfig
+
+__all__ = [
+    "SendChoice",
+    "Autotuner",
+    "send_choice_str",
+    "parse_send_choice",
+    "struct_sig",
+]
+
+MODES = ("off", "observe", "on")
+
+
+@dataclass(frozen=True)
+class SendChoice:
+    """A tuned rendezvous-send decision."""
+
+    frag_bytes: int
+    depth: int
+    #: advertised preference; the receiver applies it only if feasible
+    protocol: Optional[str] = None
+
+
+def send_choice_str(frag_bytes: int, depth: int, protocol: Optional[str]) -> str:
+    """Encode a send choice as a table choice string."""
+    return f"frag={frag_bytes},depth={depth},proto={protocol or '-'}"
+
+
+def parse_send_choice(choice: str) -> Optional[SendChoice]:
+    """Decode a send choice string; None for non-send choices (``eager``)."""
+    if not choice.startswith("frag="):
+        return None
+    try:
+        parts = dict(p.split("=", 1) for p in choice.split(","))
+        frag = int(parts["frag"])
+        depth = int(parts["depth"])
+        proto = parts.get("proto", "-")
+    except (ValueError, KeyError):
+        return None
+    if frag <= 0 or depth < 1:
+        return None
+    return SendChoice(frag, depth, None if proto == "-" else proto)
+
+
+def struct_sig(form: CanonicalForm) -> str:
+    """Size-normalized structural signature of a canonical form.
+
+    The *shape class* — not the exact element count — is what picks a
+    pack strategy, and banding is what generalizes across sizes.  A
+    vector keeps its (blocklength, stride) geometry so a 64-row and a
+    512-row instance of the same matrix column share history in
+    different bands; irregular ``runs`` layouts keep their exact span
+    digest (their geometry *is* their identity).
+    """
+    if form.kind == "vector":
+        return f"v{form.blocklength}x{form.stride}"
+    if form.kind == "runs":
+        # the canonical key is ("runs", blocks, size, digest)
+        return f"runs{form.key[3]}"
+    return form.kind  # "contig" | "empty"
+
+
+class Autotuner:
+    """Frozen-decision autotuner over a :class:`DecisionTable`.
+
+    One instance is shared world-wide (built by
+    :class:`~repro.mpi.world.MpiWorld` and handed to every rank, like
+    the fault plan), so all ranks decide from the same frozen snapshot.
+    ``seed`` identifies the offline training trajectory that produced
+    the table; it is recorded for provenance and used by the training
+    harness, never by in-run decisions.
+    """
+
+    def __init__(
+        self,
+        table: Optional[DecisionTable] = None,
+        mode: str = "on",
+        seed: int = 0,
+        bands: Optional[tuple[int, ...]] = None,
+    ) -> None:
+        if mode not in ("observe", "on"):
+            raise ValueError(
+                f"Autotuner mode must be 'observe' or 'on', got {mode!r}"
+            )
+        if bands is not None:
+            bands = validate_bands(bands)
+        self.table = table if table is not None else DecisionTable(bands)
+        if bands is not None and self.table.bands != bands:
+            raise ValueError(
+                f"decision-table bands {self.table.bands} do not match "
+                f"configured tuner_bands {bands}"
+            )
+        self.mode = mode
+        self.seed = seed
+        #: decisions are made against this frozen cost view only
+        self._frozen: dict[str, dict[str, float]] = (
+            self.table.snapshot() if mode == "on" else {}
+        )
+        #: key -> choice actually applied this run (reproducibility digest)
+        self.decisions: dict[str, str] = {}
+
+    @classmethod
+    def from_config(cls, config: "MpiConfig") -> Optional["Autotuner"]:
+        """Build (or decline to build) the tuner a config asks for.
+
+        Returns ``None`` for ``autotune="off"``.  A configured
+        ``tuner_table`` path is loaded strictly — a malformed table
+        raises ``ValueError`` at world construction rather than running
+        untuned.
+        """
+        if config.autotune == "off":
+            return None
+        bands = validate_bands(config.tuner_bands)
+        table = None
+        if config.tuner_table is not None:
+            table = DecisionTable.load(config.tuner_table)
+        return cls(
+            table=table, mode=config.autotune, seed=config.tuner_seed,
+            bands=bands,
+        )
+
+    # -- keys --------------------------------------------------------------
+    def _band(self, nbytes: int) -> str:
+        return band_label(self.table.bands, nbytes)
+
+    def p2p_key(self, form: CanonicalForm, nbytes: int, intra: bool, s_loc: str) -> str:
+        """Sender-side point-to-point key.
+
+        Built from what the sender knows at RTS time: the canonical form,
+        the size band, node topology, and its own buffer placement (the
+        receiver's placement arrives only with the CTS; the protocol that
+        actually ran is part of the recorded *choice* instead).
+        """
+        topo = "intra" if intra else "inter"
+        return f"p2p/{struct_sig(form)}/{self._band(nbytes)}/{topo}/{s_loc[0]}"
+
+    def coll_key(
+        self, op: str, peer_bytes: int, device: bool, n_nodes: int, size: int
+    ) -> str:
+        """Collective key: op, placement, per-peer band, world shape."""
+        loc = "dev" if device else "host"
+        return (
+            f"coll/{op}/{loc}/{self._band(peer_bytes)}/n{n_nodes}x{size}"
+        )
+
+    def plan_key(self, form: CanonicalForm, nbytes: int) -> str:
+        """GPU pack-plan key: structural signature + size band."""
+        return f"plan/{struct_sig(form)}/{self._band(nbytes)}"
+
+    # -- decide ------------------------------------------------------------
+    def _best_frozen(self, key: str, feasible=None) -> Optional[str]:
+        costs = self._frozen.get(key)
+        if not costs:
+            return None
+        ranked = [
+            (c, choice)
+            for choice, c in costs.items()
+            if feasible is None or choice in feasible
+        ]
+        if not ranked:
+            return None
+        return min(ranked)[1]
+
+    def decide_send(self, key: str) -> Optional[SendChoice]:
+        """Tuned (frag, depth, preferred protocol) for a rendezvous send."""
+        if self.mode != "on":
+            return None
+        costs = self._frozen.get(key)
+        if not costs:
+            return None
+        ranked = []
+        for choice, c in costs.items():
+            parsed = parse_send_choice(choice)
+            if parsed is not None:
+                ranked.append((c, choice, parsed))
+        if not ranked:
+            return None
+        _c, choice, parsed = min(ranked, key=lambda t: (t[0], t[1]))
+        self.decisions[key] = choice
+        return parsed
+
+    def decide_coll(self, key: str, feasible) -> Optional[str]:
+        """Tuned algorithm value for a collective, or None (static auto)."""
+        if self.mode != "on":
+            return None
+        choice = self._best_frozen(key, feasible)
+        if choice is not None:
+            self.decisions[key] = choice
+        return choice
+
+    def decide_plan(self, key: str, feasible) -> Optional[str]:
+        """Tuned GPU pack plan, only with full coverage of ``feasible``.
+
+        With a single feasible plan there is nothing to decide; with
+        several, every one must have history before learned costs
+        override the static model — otherwise the one plan that happened
+        to run during training would always win.
+        """
+        if self.mode != "on" or len(feasible) < 2:
+            return None
+        costs = self._frozen.get(key)
+        if not costs or any(p not in costs for p in feasible):
+            return None
+        choice = min((costs[p], p) for p in feasible)[1]
+        self.decisions[key] = choice
+        return choice
+
+    # -- observe -----------------------------------------------------------
+    def observe_send(
+        self,
+        key: str,
+        frag_bytes: int,
+        depth: int,
+        protocol: Optional[str],
+        seconds: float,
+        nbytes: int,
+    ) -> None:
+        """Record a completed rendezvous send under its choice string."""
+        self.table.observe(
+            key, send_choice_str(frag_bytes, depth, protocol), seconds, nbytes
+        )
+
+    def observe_eager(self, key: str, seconds: float, nbytes: int) -> None:
+        """Record an eager send (informational; never a tuned choice)."""
+        self.table.observe(key, "eager", seconds, nbytes)
+
+    def observe_coll(
+        self, key: str, algo: str, seconds: float, nbytes: int
+    ) -> None:
+        """Record one rank's elapsed time for a collective call."""
+        self.table.observe(key, algo, seconds, nbytes)
+
+    def observe_plan(
+        self, key: str, plan: str, seconds: float, nbytes: int
+    ) -> None:
+        """Record a GPU pack-plan cost sample (prep or per-fragment)."""
+        self.table.observe(key, plan, seconds, nbytes)
+
+    # -- reproducibility ---------------------------------------------------
+    def decisions_digest(self) -> str:
+        """Stable digest of every (key, choice) decision applied so far.
+
+        The schedule explorer asserts this digest is bit-identical across
+        perturbed event orderings — the acceptance criterion that tuned
+        selection per size band is reproducible.
+        """
+        h = hashlib.blake2b(digest_size=12)
+        for key in sorted(self.decisions):
+            h.update(key.encode())
+            h.update(b"=")
+            h.update(self.decisions[key].encode())
+            h.update(b"\n")
+        return h.hexdigest()
+
+    def __repr__(self) -> str:
+        return (
+            f"Autotuner(mode={self.mode!r}, keys={len(self.table)}, "
+            f"decisions={len(self.decisions)})"
+        )

@@ -5,6 +5,8 @@ from __future__ import annotations
 import copy
 import json
 
+import pytest
+
 from repro.bench import regress
 from repro.bench.regress import Issue, compare
 
@@ -119,6 +121,51 @@ class TestCompare:
         assert "scen.phases.dev_build.count" in failures(compare(cur, base))
 
 
+class TestSubsetGate:
+    def test_only_restricts_to_named_scenarios(self):
+        base = make_doc()
+        base["scenarios"]["other"] = {
+            "metrics": {"x": 1.0}, "phases": {}, "wall_seconds": 0.1
+        }
+        cur = make_doc()  # ran only "scen"; "other" missing is fine
+        assert failures(compare(cur, base, only=["scen"])) == []
+        # without the subset, the un-run scenario fails the gate
+        assert "other" in failures(compare(cur, base))
+
+    def test_only_still_gates_the_named_scenario(self):
+        base = make_doc()
+        cur = copy.deepcopy(base)
+        cur["scenarios"]["scen"]["metrics"]["time_s"] *= 1.2
+        assert "scen.time_s" in failures(compare(cur, base, only=["scen"]))
+
+    def test_empty_intersection_fails(self):
+        # a subset gate that would check nothing must not pass
+        issues = compare(make_doc(), make_doc(), only=["not_in_baseline"])
+        assert "scenarios" in failures(issues)
+
+
+class TestLoadBaseline:
+    def test_valid_baseline_loads(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(make_doc()))
+        assert regress.load_baseline(str(path))["schema"] == "repro-bench/1"
+
+    def test_missing_file_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            regress.load_baseline(str(tmp_path / "nope.json"))
+
+    @pytest.mark.parametrize(
+        "text",
+        ["{not json", "[1, 2]", '{"schema": "other/1"}', '{"scenarios": {}}'],
+        ids=["invalid-json", "not-object", "wrong-schema", "no-schema"],
+    )
+    def test_malformed_baseline_raises_valueerror(self, tmp_path, text):
+        path = tmp_path / "baseline.json"
+        path.write_text(text)
+        with pytest.raises(ValueError):
+            regress.load_baseline(str(path))
+
+
 class TestRunCheck:
     def test_exit_codes(self, tmp_path, capsys):
         base = make_doc()
@@ -130,6 +177,41 @@ class TestRunCheck:
         assert regress.run_check(bad, str(path)) == 1
         out = capsys.readouterr().out
         assert "scen.time_s" in out  # the offending metric is named
+
+    def test_missing_baseline_is_hard_failure(self, tmp_path, capsys):
+        rc = regress.run_check(make_doc(), str(tmp_path / "nope.json"))
+        assert rc == 1
+        assert "[FAIL] baseline:" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "text", ["{broken", '{"schema": "wrong/0"}'],
+        ids=["invalid-json", "wrong-schema"],
+    )
+    def test_malformed_baseline_is_hard_failure(self, tmp_path, capsys, text):
+        # the regression this guards: a gate that cannot read its baseline
+        # used to warn and pass — it must exit nonzero
+        path = tmp_path / "baseline.json"
+        path.write_text(text)
+        assert regress.run_check(make_doc(), str(path)) == 1
+        assert "[FAIL] baseline:" in capsys.readouterr().out
+
+    def test_update_baseline_refuses_malformed_previous(self, tmp_path, capsys,
+                                                        monkeypatch):
+        # --update-baseline must not silently overwrite a baseline it
+        # cannot parse (a fresh/missing one is fine)
+        from repro.bench.__main__ import main
+
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "benchmarks").mkdir()
+        (tmp_path / "benchmarks" / "baseline.json").write_text("{broken")
+        rc = main([
+            "--suite", "--quick", "--scenario", "world_stats",
+            "--json", str(tmp_path / "BENCH_t.json"), "--label", "t",
+            "--update-baseline",
+        ])
+        assert rc == 1
+        assert "malformed baseline" in capsys.readouterr().err
+        assert (tmp_path / "benchmarks" / "baseline.json").read_text() == "{broken"
 
 
 class TestEndToEnd:

@@ -1,0 +1,185 @@
+"""Tests for the decision table (repro.tune.table): banding, argmin
+decisions, and the strict schema-versioned persistence contract."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.tune.table import (
+    DEFAULT_BANDS,
+    SCHEMA,
+    DecisionTable,
+    band_label,
+    band_of,
+    validate_bands,
+)
+
+
+class TestBands:
+    def test_defaults_valid(self):
+        assert validate_bands(DEFAULT_BANDS) == DEFAULT_BANDS
+
+    def test_lists_normalize_to_tuples(self):
+        assert validate_bands([1024, 4096]) == (1024, 4096)
+
+    @pytest.mark.parametrize(
+        "bands",
+        [(), (0,), (-1,), (4096, 1024), (1024, 1024), (1024.0,), (True,),
+         "4096", 4096],
+        ids=["empty", "zero", "negative", "decreasing", "equal", "float",
+             "bool", "string", "scalar"],
+    )
+    def test_bad_bands_rejected(self, bands):
+        with pytest.raises(ValueError):
+            validate_bands(bands)
+
+    def test_band_of_inclusive_upper_edges(self):
+        bands = (4096, 32768)
+        assert band_of(bands, 0) == 0
+        assert band_of(bands, 4096) == 0  # inclusive
+        assert band_of(bands, 4097) == 1
+        assert band_of(bands, 32768) == 1
+        assert band_of(bands, 32769) == 2  # open top band
+
+    def test_band_label(self):
+        bands = (4096, 32768)
+        assert band_label(bands, 100) == "le4096"
+        assert band_label(bands, 5000) == "le32768"
+        assert band_label(bands, 1 << 20) == "gt32768"
+
+
+class TestObserveAndDecide:
+    def test_best_is_cost_argmin(self):
+        t = DecisionTable()
+        t.observe("k", "slow", 2.0, 1000)
+        t.observe("k", "fast", 1.0, 1000)
+        assert t.best("k") == "fast"
+        assert t.cost("k", "slow") == pytest.approx(2.0 / 1000)
+
+    def test_cost_averages_over_samples(self):
+        t = DecisionTable()
+        t.observe("k", "c", 1.0, 500)
+        t.observe("k", "c", 3.0, 1500)
+        assert t.cost("k", "c") == pytest.approx(4.0 / 2000)
+
+    def test_unseen_key_and_choice(self):
+        t = DecisionTable()
+        assert t.best("nope") is None
+        assert t.cost("nope", "c") is None
+
+    def test_feasible_filter(self):
+        t = DecisionTable()
+        t.observe("k", "fast", 1.0, 1000)
+        t.observe("k", "slow", 2.0, 1000)
+        assert t.best("k", feasible=("slow",)) == "slow"
+        assert t.best("k", feasible=("other",)) is None
+
+    def test_tie_breaks_lexicographically(self):
+        t = DecisionTable()
+        t.observe("k", "zeta", 1.0, 1000)
+        t.observe("k", "alpha", 1.0, 1000)
+        assert t.best("k") == "alpha"
+
+    def test_zero_byte_observation_still_costs(self):
+        # DEV-prep overheads arrive with nbytes=0; they must rank, not /0
+        t = DecisionTable()
+        t.observe("k", "prep", 0.5, 0)
+        assert t.cost("k", "prep") == pytest.approx(0.5)
+
+    def test_negative_observation_rejected(self):
+        t = DecisionTable()
+        with pytest.raises(ValueError):
+            t.observe("k", "c", -1.0, 10)
+        with pytest.raises(ValueError):
+            t.observe("k", "c", 1.0, -10)
+
+    def test_merge_folds_samples(self):
+        a, b = DecisionTable(), DecisionTable()
+        a.observe("k", "c", 1.0, 100)
+        b.observe("k", "c", 3.0, 300)
+        b.observe("k2", "d", 1.0, 50)
+        a.merge(b)
+        assert a.entries["k"]["c"] == [2, 4.0, 400]
+        assert "k2" in a.entries
+
+    def test_merge_rejects_band_mismatch(self):
+        a = DecisionTable(bands=(1024,))
+        b = DecisionTable(bands=(2048,))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_snapshot_is_frozen(self):
+        t = DecisionTable()
+        t.observe("k", "c", 1.0, 1000)
+        snap = t.snapshot()
+        t.observe("k", "c", 100.0, 1)  # later samples must not leak in
+        assert snap["k"]["c"] == pytest.approx(1.0 / 1000)
+
+
+class TestPersistence:
+    def roundtrip(self, t: DecisionTable) -> DecisionTable:
+        return DecisionTable.from_doc(json.loads(json.dumps(t.to_doc())))
+
+    def test_roundtrip_identity(self):
+        t = DecisionTable()
+        t.observe("p2p/contig/le4096/intra/d", "frag=1048576,depth=4,proto=-",
+                  1.5, 4096)
+        t.observe("coll/alltoall/dev/le32768/n2x4", "staged", 2.0, 32768)
+        back = self.roundtrip(t)
+        assert back.entries == t.entries
+        assert back.bands == t.bands
+
+    def test_doc_is_schema_tagged_and_sorted(self):
+        t = DecisionTable()
+        t.observe("z", "c", 1.0, 1)
+        t.observe("a", "c", 1.0, 1)
+        doc = t.to_doc()
+        assert doc["schema"] == SCHEMA
+        assert list(doc["entries"]) == ["a", "z"]
+
+    @pytest.mark.parametrize(
+        "mangle",
+        [
+            lambda d: d.pop("schema"),
+            lambda d: d.update(schema="repro-tune/999"),
+            lambda d: d.update(entries=[]),
+            lambda d: d["entries"].update({"": {"c": [1, 1.0, 1]}}),
+            lambda d: d["entries"].update({"k2": "not-an-object"}),
+            lambda d: d["entries"]["k"].update({"": [1, 1.0, 1]}),
+            lambda d: d["entries"]["k"].update({"c": [0, 1.0, 1]}),
+            lambda d: d["entries"]["k"].update({"c": [1, -1.0, 1]}),
+            lambda d: d["entries"]["k"].update({"c": [1, 1.0]}),
+            lambda d: d["entries"]["k"].update({"c": [True, 1.0, 1]}),
+            lambda d: d.update(bands=[4096, 1024]),
+        ],
+        ids=["no-schema", "wrong-schema", "entries-list", "empty-key",
+             "choices-not-object", "empty-choice", "zero-samples",
+             "negative-seconds", "short-cell", "bool-samples", "bad-bands"],
+    )
+    def test_malformed_doc_hard_fails(self, mangle):
+        t = DecisionTable()
+        t.observe("k", "c", 1.0, 1)
+        doc = json.loads(json.dumps(t.to_doc()))
+        mangle(doc)
+        with pytest.raises(ValueError):
+            DecisionTable.from_doc(doc)
+
+    def test_non_object_doc_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionTable.from_doc([1, 2, 3])
+
+    def test_save_load(self, tmp_path):
+        t = DecisionTable(bands=(1024, 8192))
+        t.observe("k", "c", 1.0, 512)
+        path = t.save(str(tmp_path / "sub" / "table.json"))
+        back = DecisionTable.load(path)
+        assert back.bands == (1024, 8192)
+        assert back.entries == t.entries
+
+    def test_load_invalid_json_is_value_error(self, tmp_path):
+        path = tmp_path / "table.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="invalid JSON"):
+            DecisionTable.load(str(path))

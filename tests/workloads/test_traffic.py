@@ -1,0 +1,131 @@
+"""Tests for the multi-tenant traffic generator (repro.workloads.traffic)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mpi.config import MpiConfig
+from repro.tune import Autotuner, DecisionTable
+from repro.workloads.traffic import (
+    TrafficDraws,
+    TrafficSpec,
+    replay_digest,
+    run_traffic,
+)
+
+SMALL = TrafficSpec(rounds=2, tenants=2)
+
+
+class TestSpec:
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            dict(tenants=0),
+            dict(rounds=0),
+            dict(n_nodes=1, gpus_per_node=1),
+            dict(size_mix=()),
+            dict(size_mix=((0, 1.0),)),
+            dict(size_mix=((1024, 0.0),)),
+            dict(vector_frac=1.5),
+            dict(vector_frac=-0.1),
+            dict(host_tenants=5),
+        ],
+        ids=lambda kw: next(iter(kw.items()))[0],
+    )
+    def test_bad_spec_rejected(self, kw):
+        with pytest.raises(ValueError):
+            TrafficSpec(**kw)
+
+    def test_world_size(self):
+        assert TrafficSpec(n_nodes=2, gpus_per_node=2).world_size == 4
+
+
+class TestDraws:
+    def test_same_seed_same_draws(self):
+        a = TrafficDraws.generate(SMALL)
+        b = TrafficDraws.generate(SMALL)
+        assert (a.shifts, a.kinds, a.sizes, a.vcounts, a.gaps) == (
+            b.shifts, b.kinds, b.sizes, b.vcounts, b.gaps
+        )
+
+    def test_different_seed_different_draws(self):
+        a = TrafficDraws.generate(SMALL)
+        b = TrafficDraws.generate(TrafficSpec(rounds=2, tenants=2, seed=8))
+        assert (a.shifts, a.sizes, a.gaps) != (b.shifts, b.sizes, b.gaps)
+
+    def test_shapes(self):
+        d = TrafficDraws.generate(SMALL)
+        assert len(d.shifts) == SMALL.rounds
+        assert all(len(row) == SMALL.tenants for row in d.kinds)
+        assert all(1 <= s < SMALL.world_size for row in d.shifts for s in row)
+        assert all(k in ("contig", "vector") for row in d.kinds for k in row)
+
+
+class TestReplay:
+    def test_run_is_deterministic(self):
+        a = run_traffic(SMALL)
+        b = run_traffic(SMALL)
+        assert a == b
+        assert a["elapsed_s"] > 0
+        assert a["messages"] == SMALL.rounds * SMALL.tenants * SMALL.world_size
+
+    def test_digest_is_deterministic(self):
+        assert replay_digest(SMALL) == replay_digest(SMALL)
+
+    def test_cross_tenant_cache_reuse(self):
+        # structurally identical per-tenant datatypes must hit the
+        # canonical-key DevCache across tenants — the generator's point
+        metrics = run_traffic(TrafficSpec())
+        assert metrics["cache_hits"] > 0
+        assert metrics["cross_tenant_hit_rate"] > 0
+
+    def test_config_is_honoured(self):
+        # the tiny SMALL spec draws only eager-sized traffic; the default
+        # spec includes 1 MB rendezvous sends the IPC knob actually steers
+        spec = TrafficSpec()
+        base = run_traffic(spec)["elapsed_s"]
+        no_ipc = run_traffic(
+            spec, config=MpiConfig(use_cuda_ipc=False)
+        )["elapsed_s"]
+        assert no_ipc != base  # forcing copy-in/out must change the timeline
+
+    def test_tuned_run_applies_decisions_and_stays_correct(self):
+        # rig a table so the tuned replay diverges from the static one,
+        # then check data still arrives (digest exists) and decisions fire
+        from repro.datatype.canonical import canonicalize
+        from repro.datatype.ddt import contiguous, vector
+        from repro.datatype.primitives import BYTE, DOUBLE
+
+        spec = TrafficSpec()
+        helper = Autotuner(DecisionTable(), mode="observe")
+        table = helper.table
+        vdt = vector(
+            spec.vector_rows, spec.vector_bl, spec.vector_stride, DOUBLE
+        ).commit()
+        forms = [
+            (canonicalize(vdt, c), vdt.size * c)
+            for c in range(1, spec.vector_max_count + 1)
+        ] + [
+            (canonicalize(contiguous(n, BYTE).commit(), 1), n)
+            for n, _w in spec.size_mix
+        ]
+        for form, n in forms:
+            for intra in (True, False):
+                for loc in ("host", "device"):
+                    key = helper.p2p_key(form, n, intra, loc)
+                    alt = "host" if loc == "host" else "copyinout"
+                    table.observe(key, f"frag=65536,depth=2,proto={alt}", 1.0, 10**9)
+        tuner = Autotuner(table, mode="on")
+        digest = replay_digest(spec, tuner=tuner)
+        assert len(digest) == 32
+        assert tuner.decisions  # tuned decisions fired
+        # same rig, fresh tuner: bit-identical digest incl. decisions
+        tuner2 = Autotuner(table, mode="on")
+        assert replay_digest(spec, tuner=tuner2) == digest
+
+    def test_config_autotune_builds_world_tuner(self, tmp_path):
+        # autotune="observe" without an explicit tuner records history
+        path = str(tmp_path / "t.json")
+        cfg = MpiConfig(autotune="observe", tuner_table=None)
+        metrics = run_traffic(SMALL, config=cfg)
+        assert metrics == run_traffic(SMALL, config=cfg)  # still deterministic
